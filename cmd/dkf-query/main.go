@@ -1,0 +1,64 @@
+// Command dkf-query asks a running dkf-server for continuous query
+// answers.
+//
+// Usage:
+//
+//	dkf-query -server 127.0.0.1:7474 -query q1 -seq 3999
+//	dkf-query -server 127.0.0.1:7474 -query q1 -watch 1s   # poll forever
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"streamkf/internal/dsms"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "127.0.0.1:7474", "dkf-server address")
+		query  = flag.String("query", "", "query id to evaluate (comma-separate for several)")
+		seq    = flag.Int("seq", 0, "reading index to evaluate at")
+		watch  = flag.Duration("watch", 0, "poll interval (0 = ask once)")
+	)
+	flag.Parse()
+
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "dkf-query: -query is required")
+		os.Exit(2)
+	}
+	ids := strings.Split(*query, ",")
+
+	qc, err := dsms.DialQuery(*server)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dkf-query: %v\n", err)
+		os.Exit(1)
+	}
+	defer qc.Close()
+
+	ask := func(at int) {
+		for _, id := range ids {
+			id = strings.TrimSpace(id)
+			vals, err := qc.Ask(id, at)
+			if err != nil {
+				fmt.Printf("%-16s seq=%-8d error: %v\n", id, at, err)
+				continue
+			}
+			fmt.Printf("%-16s seq=%-8d %v\n", id, at, vals)
+		}
+	}
+
+	if *watch <= 0 {
+		ask(*seq)
+		return
+	}
+	at := *seq
+	for {
+		ask(at)
+		time.Sleep(*watch)
+		at++
+	}
+}

@@ -1,0 +1,135 @@
+// Command dkf-server runs the central DSMS node over TCP: it registers
+// the continuous queries given on the command line, listens for source
+// agents (see cmd/dkf-source) and answers query clients.
+//
+// Usage:
+//
+//	dkf-server -listen 127.0.0.1:7474 \
+//	    -query q1:sensor-a:linear:2.0 \
+//	    -query q2:sensor-b:constant:5.0:1e-7
+//
+// Each -query flag is id:source:model:delta[:F]. Models come from the
+// default catalog: constant, linear, acceleration, jerk, constant2d,
+// linear2d.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"streamkf/internal/cql"
+	"streamkf/internal/dsms"
+	"streamkf/internal/stream"
+)
+
+type stringsFlag []string
+
+func (s *stringsFlag) String() string { return fmt.Sprint(*s) }
+
+// Set appends one repeated flag value.
+func (s *stringsFlag) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+type queryFlags []stream.Query
+
+func (q *queryFlags) String() string { return fmt.Sprint(*q) }
+
+func (q *queryFlags) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 && len(parts) != 5 {
+		return fmt.Errorf("want id:source:model:delta[:F], got %q", s)
+	}
+	delta, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return fmt.Errorf("bad delta in %q: %v", s, err)
+	}
+	var f float64
+	if len(parts) == 5 {
+		f, err = strconv.ParseFloat(parts[4], 64)
+		if err != nil {
+			return fmt.Errorf("bad F in %q: %v", s, err)
+		}
+	}
+	*q = append(*q, stream.Query{ID: parts[0], SourceID: parts[1], Model: parts[2], Delta: delta, F: f})
+	return nil
+}
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7474", "address to listen on")
+		dt         = flag.Float64("dt", 1.0, "sampling interval assumed by the model catalog")
+		stats      = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+		queries    queryFlags
+		statements stringsFlag
+	)
+	flag.Var(&queries, "query", "continuous query id:source:model:delta[:F] (repeatable)")
+	flag.Var(&statements, "cql", `CQL statement, e.g. "SELECT AVG FROM z1, z2 MODEL linear WITHIN 50 AS load" (repeatable)`)
+	flag.Parse()
+
+	if len(queries) == 0 && len(statements) == 0 {
+		fmt.Fprintln(os.Stderr, "dkf-server: at least one -query or -cql is required")
+		os.Exit(2)
+	}
+
+	catalog := dsms.DefaultCatalog(*dt)
+	server := dsms.NewServer(catalog)
+	for _, q := range queries {
+		if err := server.Register(q); err != nil {
+			fmt.Fprintf(os.Stderr, "dkf-server: register %s: %v\n", q.ID, err)
+			os.Exit(2)
+		}
+	}
+	for _, stmt := range statements {
+		name, err := cql.Install(server, stmt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dkf-server: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("installed CQL query %q\n", name)
+	}
+
+	ts, err := dsms.NewTCPServer(server, *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dkf-server: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dkf-server listening on %s, models: %s\n", ts.Addr(), strings.Join(catalog.Names(), ", "))
+	for _, q := range queries {
+		fmt.Printf("  query %s over source %s: model=%s δ=%g F=%g\n", q.ID, q.SourceID, q.Model, q.Delta, q.F)
+	}
+
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				for _, st := range server.Stats() {
+					fmt.Printf("source %-12s queries=%d updates=%d bytes=%d seq=%d\n",
+						st.SourceID, st.Queries, st.Updates, st.Bytes, st.Seq)
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- ts.Serve() }()
+	select {
+	case <-sig:
+		fmt.Println("\ndkf-server: shutting down")
+		ts.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dkf-server: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

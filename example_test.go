@@ -1,0 +1,62 @@
+package streamkf_test
+
+import (
+	"fmt"
+
+	"streamkf"
+)
+
+// ExampleNewSession demonstrates the DKF protocol on a perfectly linear
+// stream: after the filter locks onto the slope, everything else is
+// suppressed.
+func ExampleNewSession() {
+	sess, err := streamkf.NewSession(streamkf.Config{
+		SourceID: "sensor-1",
+		Model:    streamkf.LinearModel(1, 1, 0.05, 0.05),
+		Delta:    1.0,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 2 * float64(i) // v = 2k: a pure trend
+	}
+	for _, r := range streamkf.FromValues(vals, 1) {
+		if _, err := sess.Step(r); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	m := sess.Metrics()
+	fmt.Printf("readings=%d updates=%d\n", m.Readings, m.Updates)
+	fmt.Printf("suppressed more than 90%%: %v\n", m.PercentUpdates() < 10)
+	// Output:
+	// readings=100 updates=3
+	// suppressed more than 90%: true
+}
+
+// ExampleNewSynopsis stores a predictable stream within an error
+// tolerance using only a handful of corrections.
+func ExampleNewSynopsis() {
+	m := streamkf.LinearModel(1, 1, 0.05, 0.05)
+	store, err := streamkf.NewSynopsis(m, 0.5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = 3 * float64(i)
+	}
+	for _, r := range streamkf.FromValues(vals, 1) {
+		if err := store.Append(r); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Printf("readings=%d stored=%d\n", store.Len(), 1+store.Corrections())
+	// Output:
+	// readings=50 stored=3
+}

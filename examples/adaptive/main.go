@@ -1,0 +1,94 @@
+// Adaptive: online model switching (the paper's future-work item 2) and
+// innovation-driven sampling (item 5) on a stream whose regime changes.
+//
+// The stream idles flat, then climbs steeply, then idles again. No fixed
+// model is right throughout: the constant model chatters on the ramp, the
+// linear model carries dead velocity state on the plateaus. The adaptive
+// runner shadows both models at the source and reinstalls the winner
+// when the regime flips; the sampled session additionally lets the
+// sensor sleep whenever its mirror has been predicting well.
+//
+// Run with: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamkf"
+)
+
+func main() {
+	data := regimeStream()
+	const delta = 2.0
+	fmt.Printf("stream: %d readings — flat, then slope 3, then flat\n\n", len(data))
+
+	constant := streamkf.ConstantModel(1, 0.05, 0.05)
+	linear := streamkf.LinearModel(1, 1, 0.05, 0.05)
+
+	// Fixed models for reference.
+	for _, tc := range []struct {
+		name  string
+		model streamkf.Model
+	}{{"fixed constant", constant}, {"fixed linear", linear}} {
+		sess, err := streamkf.NewSession(streamkf.Config{SourceID: "s", Model: tc.model, Delta: delta})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := sess.Run(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %7.2f%% updates, avg error %.3f\n", tc.name, m.PercentUpdates(), m.AvgErr())
+	}
+
+	// The adaptive runner: shadow both models, switch on decisive wins.
+	sel, err := streamkf.NewSelector([]streamkf.Model{constant, linear}, 40, 1.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner, err := streamkf.NewAdaptiveRunner("s", delta, 0, sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	am, switches, err := runner.Run(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %7.2f%% updates, avg error %.3f (%d model switches, ends on %q)\n",
+		"adaptive", am.PercentUpdates(), am.AvgErr(), switches, runner.ActiveModel())
+
+	// Adaptive sampling on top: the sensor sleeps while predictions hold.
+	sampler, err := streamkf.NewAdaptiveSampler(delta, 0.3, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampled, err := streamkf.NewSampledSession(streamkf.Config{SourceID: "s", Model: linear, Delta: delta}, sampler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sm, err := sampled.Run(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith adaptive sampling (linear model):\n")
+	fmt.Printf("  sensing duty cycle: %.1f%% (%d of %d steps sensed)\n", sm.PercentSensed(), sm.Sensed, sm.Readings)
+	fmt.Printf("  updates sent:       %.2f%%\n", sm.PercentUpdates())
+	fmt.Printf("  avg error:          %.3f (precision constraint was ±%.0f)\n", sm.AvgErr(), delta)
+}
+
+func regimeStream() []streamkf.Reading {
+	var vals []float64
+	for i := 0; i < 600; i++ {
+		vals = append(vals, 20)
+	}
+	v := 20.0
+	for i := 0; i < 600; i++ {
+		v += 3
+		vals = append(vals, v)
+	}
+	for i := 0; i < 600; i++ {
+		vals = append(vals, v)
+	}
+	return streamkf.FromValues(vals, 1)
+}

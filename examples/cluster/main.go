@@ -1,0 +1,100 @@
+// Cluster: the full distributed DSMS in one process — a TCP server, a
+// fleet of source agents streaming different workloads concurrently, and
+// a query client reading live answers, exactly the Figure 1 deployment
+// of the paper.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"streamkf"
+)
+
+func main() {
+	catalog := streamkf.DefaultCatalog(1)
+	server := streamkf.NewDSMSServer(catalog)
+
+	// Three continuous queries over three sources, each with its own
+	// precision constraint and model.
+	queries := []streamkf.Query{
+		{ID: "track-object", SourceID: "vehicle-7", Model: "linear2d", Delta: 3},
+		{ID: "watch-load", SourceID: "zone-b", Model: "linear", Delta: 50},
+		{ID: "watch-http", SourceID: "gateway", Model: "constant", Delta: 10, F: 1e-7},
+	}
+	for _, q := range queries {
+		if err := server.Register(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ts, err := streamkf.NewTCPServer(server, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ts.Serve() }()
+	fmt.Printf("DSMS server on %s\n\n", ts.Addr())
+
+	// Each source runs its agent over TCP, concurrently.
+	workloads := map[string][]streamkf.Reading{
+		"vehicle-7": streamkf.MovingObject(streamkf.DefaultMovingObject()),
+		"zone-b":    streamkf.PowerLoad(streamkf.DefaultPowerLoad()),
+		"gateway":   streamkf.HTTPTraffic(streamkf.DefaultHTTPTraffic()),
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for id, data := range workloads {
+		wg.Add(1)
+		go func(id string, data []streamkf.Reading) {
+			defer wg.Done()
+			agent, err := streamkf.DialSource(ts.Addr(), id, catalog)
+			if err != nil {
+				log.Fatalf("%s: %v", id, err)
+			}
+			defer agent.Close()
+			if err := agent.Run(streamkf.NewSliceSource(data)); err != nil {
+				log.Fatalf("%s: %v", id, err)
+			}
+			st := agent.Stats()
+			mu.Lock()
+			fmt.Printf("source %-10s readings=%5d updates=%5d (%5.2f%%) bytes=%d\n",
+				id, st.Readings, st.Updates, 100*float64(st.Updates)/float64(st.Readings), st.BytesSent)
+			mu.Unlock()
+		}(id, data)
+	}
+	wg.Wait()
+
+	// A client asks for the current answers.
+	qc, err := streamkf.DialQuery(ts.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer qc.Close()
+	fmt.Println()
+	for _, q := range queries {
+		lastSeq := len(workloads[q.SourceID]) - 1
+		ans, err := qc.Ask(q.ID, lastSeq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := workloads[q.SourceID][lastSeq].Values
+		fmt.Printf("query %-13s answer %v (truth %v, δ=%g)\n", q.ID, round2(ans), round2(truth), q.Delta)
+	}
+
+	ts.Close()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}
+
+func round2(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = float64(int(v*100)) / 100
+	}
+	return out
+}

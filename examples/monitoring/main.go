@@ -1,0 +1,160 @@
+// Monitoring: the DSMS's query-surface features working together — the
+// continuous query language, an aggregate over several zones, a
+// threshold alert with hysteresis, and a push subscription — all served
+// from Kalman predictions while the sensors stay mostly silent.
+//
+// Run with: go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sync"
+
+	"streamkf"
+)
+
+func main() {
+	catalog := streamkf.DefaultCatalog(1)
+	server := streamkf.NewDSMSServer(catalog)
+
+	// Install queries in the query language.
+	for _, stmt := range []string{
+		"SELECT VALUE FROM zone-a MODEL linear WITHIN 25 AS load-a",
+		"SELECT AVG FROM zone-a, zone-b, zone-c MODEL linear WITHIN 40 AS regional-load",
+	} {
+		name, err := streamkf.InstallCQL(server, stmt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("installed %-14s  %s\n", name, stmt)
+	}
+
+	// An alert on the aggregate: fire when regional load tops 2300 (only the
+	// heat wave, not the ordinary daily peak), with
+	// hysteresis equal to the aggregate δ so prediction error alone can
+	// never flap it.
+	var mu sync.Mutex
+	var alerts []streamkf.AlertEvent
+	err := server.RegisterAlert(streamkf.Alert{
+		ID:         "regional-peak",
+		QueryID:    "regional-load",
+		Threshold:  2300,
+		Direction:  streamkf.AlertAbove,
+		Hysteresis: 40,
+	}, func(e streamkf.AlertEvent) {
+		mu.Lock()
+		alerts = append(alerts, e)
+		mu.Unlock()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A push subscription on the aggregate.
+	updates, cancelSub, err := server.Subscribe("regional-load", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cancelSub()
+
+	// Historical queries on zone-a: the update log doubles as a synopsis.
+	if err := server.EnableHistory("zone-a"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Three zones with phase-shifted daily cycles; zone loads spike
+	// together mid-experiment to trip the alert. Readings interleave
+	// across zones step by step, as they would in a live deployment.
+	const n = 24 * 14 // two weeks hourly
+	zones := []string{"zone-a", "zone-b", "zone-c"}
+	agents := make([]*streamkf.Agent, len(zones))
+	workloads := make([][]streamkf.Reading, len(zones))
+	for i, zone := range zones {
+		cfg, err := server.InstallFor(zone)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agents[i], err = streamkf.NewAgent(cfg, streamkf.TransportFunc(func(u streamkf.Update) error {
+			return server.HandleUpdate(u)
+		}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		workloads[i] = zoneLoad(n, i)
+	}
+	for k := 0; k < n; k++ {
+		for i := range zones {
+			if _, err := agents[i].Offer(workloads[i][k]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for i, zone := range zones {
+		st := agents[i].Stats()
+		fmt.Printf("%s: %d readings, %d updates (%.1f%%)\n",
+			zone, st.Readings, st.Updates, 100*float64(st.Updates)/float64(st.Readings))
+	}
+
+	// Drain the push channel.
+	var pushed int
+	var lastPush streamkf.Notification
+	for {
+		select {
+		case n := <-updates:
+			lastPush, pushed = n, pushed+1
+			continue
+		default:
+		}
+		break
+	}
+	fmt.Printf("\npush subscription delivered %d fresh answers; latest: %.1f at seq %d\n",
+		pushed, lastPush.Values[0], lastPush.Seq)
+
+	ans, err := server.AnswerAggregate("regional-load", n-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final regional load estimate: %.1f\n", ans)
+
+	mu.Lock()
+	fmt.Printf("alert %q fired %d time(s)", "regional-peak", len(alerts))
+	if len(alerts) > 0 {
+		fmt.Printf(" — first at seq %d with value %.1f", alerts[0].Seq, alerts[0].Value)
+	}
+	fmt.Println()
+	mu.Unlock()
+
+	// Time travel: what was zone-a's load last Tuesday at noon?
+	past, err := server.AnswerAt("load-a", 36)
+	if err != nil {
+		log.Fatal(err)
+	}
+	readings, corrections, err := server.HistoryStats("zone-a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("historical answer for zone-a at seq 36: %.1f (truth %.1f)\n",
+		past[0], workloads[0][36].Values[0])
+	fmt.Printf("history footprint: %d corrections stored for %d readings (%.0f%% compression)\n",
+		corrections, readings, 100*(1-float64(corrections+1)/float64(readings)))
+}
+
+// zoneLoad builds one zone's hourly series: diurnal sinusoid, a shared
+// mid-series heat wave, and noise.
+func zoneLoad(n, zone int) []streamkf.Reading {
+	rng := rand.New(rand.NewSource(int64(zone) + 1))
+	vals := make([]float64, n)
+	omega := 2 * math.Pi / 24
+	phase := float64(zone) * 0.4
+	for k := range vals {
+		v := 1800 + 350*math.Sin(omega*float64(k)+phase) + 20*rng.NormFloat64()
+		if k > n/2 && k < n/2+48 { // two-day heat wave
+			v += 500
+		}
+		vals[k] = v
+	}
+	return streamkf.FromValues(vals, 3600)
+}

@@ -1,0 +1,56 @@
+// Quickstart: suppress updates on a drifting sensor stream.
+//
+// A simulated temperature sensor drifts up and down; the server must be
+// able to answer "what is the temperature now?" within ±0.5 degrees. The
+// Dual Kalman Filter pair lets the sensor stay silent whenever the
+// server's own prediction is already good enough.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"streamkf"
+)
+
+func main() {
+	// A linear model: state = [temperature, drift rate], sampled at 1 Hz.
+	sess, err := streamkf.NewSession(streamkf.Config{
+		SourceID: "thermometer",
+		Model:    streamkf.LinearModel(1, 1.0, 0.01, 0.05),
+		Delta:    0.5, // answers must stay within ±0.5 °C
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate a day of readings: slow sinusoidal drift plus sensor noise.
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]float64, 86400/60) // one reading per minute
+	for i := range vals {
+		t := float64(i)
+		vals[i] = 20 + 5*math.Sin(2*math.Pi*t/1440) + 0.05*rng.NormFloat64()
+	}
+
+	for _, r := range streamkf.FromValues(vals, 60) {
+		est, err := sess.Step(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The server's answer is always within delta-ish of the truth.
+		if d := math.Abs(est[0] - r.Values[0]); d > 2 {
+			log.Fatalf("estimate drifted: %.2f vs %.2f", est[0], r.Values[0])
+		}
+	}
+
+	m := sess.Metrics()
+	fmt.Printf("readings:        %d\n", m.Readings)
+	fmt.Printf("updates sent:    %d (%.2f%%)\n", m.Updates, m.PercentUpdates())
+	fmt.Printf("bytes on wire:   %d\n", m.BytesSent)
+	fmt.Printf("average error:   %.4f °C (constraint was ±0.5)\n", m.AvgErr())
+	fmt.Printf("bandwidth saved: %.1f%%\n", 100-m.PercentUpdates())
+}

@@ -1,0 +1,3 @@
+module streamkf
+
+go 1.22

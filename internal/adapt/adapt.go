@@ -1,0 +1,343 @@
+// Package adapt implements online model selection, the paper's future
+// work item 2: "investigating updating the state transition matrices
+// online as the streaming data trend changes".
+//
+// A Selector runs a bank of candidate models as shadow filters at the
+// source (which sees every reading anyway, so shadowing is free of
+// network cost) and tracks each model's windowed one-step-ahead
+// prediction error. When another model beats the active one by a
+// hysteresis factor over a full window, the source switches: it tears
+// down the current DKF pair and bootstraps a new one under the better
+// model, at the cost of one reinstall message.
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	"streamkf/internal/core"
+	"streamkf/internal/kalman"
+	"streamkf/internal/mat"
+	"streamkf/internal/model"
+	"streamkf/internal/stream"
+)
+
+// candidate is one shadow-tracked model.
+type candidate struct {
+	model  model.Model
+	filter *kalman.Filter
+	errs   []float64 // ring buffer of one-step |prediction - measurement|
+	next   int
+	filled bool
+	sum    float64
+}
+
+func (c *candidate) observe(e float64, window int) {
+	if c.filled {
+		c.sum -= c.errs[c.next]
+	}
+	c.errs[c.next] = e
+	c.sum += e
+	c.next++
+	if c.next == window {
+		c.next = 0
+		c.filled = true
+	}
+}
+
+func (c *candidate) avgErr(window int) float64 {
+	n := c.next
+	if c.filled {
+		n = window
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return c.sum / float64(n)
+}
+
+// Scoring selects how candidate models are ranked.
+type Scoring int
+
+const (
+	// ScoreAbsError ranks models by windowed mean absolute one-step
+	// prediction error; a challenger wins when the active model's error
+	// exceeds hysteresis times the challenger's.
+	ScoreAbsError Scoring = iota
+	// ScoreLogLikelihood ranks models by windowed mean innovation
+	// log-likelihood (the Bayesian view); a challenger wins when its
+	// mean log-likelihood advantage exceeds ln(hysteresis) nats per
+	// observation — a per-step Bayes-factor threshold.
+	ScoreLogLikelihood
+)
+
+// Selector tracks candidate models against the live stream and decides
+// when the active model should change.
+type Selector struct {
+	window     int
+	hysteresis float64
+	scoring    Scoring
+	cands      []*candidate
+	active     int
+	steps      int
+	cooldown   int // steps remaining before another switch is allowed
+}
+
+// NewSelector builds a selector over candidate models scored by absolute
+// prediction error. window is the error-averaging horizon; hysteresis
+// (> 1) is how decisively a challenger must win (activeErr > hysteresis
+// * challengerErr) before a switch fires. The first model starts active.
+func NewSelector(models []model.Model, window int, hysteresis float64) (*Selector, error) {
+	return NewSelectorScored(models, window, hysteresis, ScoreAbsError)
+}
+
+// NewSelectorScored is NewSelector with an explicit scoring rule.
+func NewSelectorScored(models []model.Model, window int, hysteresis float64, scoring Scoring) (*Selector, error) {
+	if len(models) < 2 {
+		return nil, fmt.Errorf("adapt: need at least 2 candidate models, got %d", len(models))
+	}
+	if window < 2 {
+		return nil, fmt.Errorf("adapt: window = %d, want >= 2", window)
+	}
+	if hysteresis <= 1 {
+		return nil, fmt.Errorf("adapt: hysteresis = %v, want > 1", hysteresis)
+	}
+	if scoring != ScoreAbsError && scoring != ScoreLogLikelihood {
+		return nil, fmt.Errorf("adapt: unknown scoring %d", scoring)
+	}
+	s := &Selector{window: window, hysteresis: hysteresis, scoring: scoring}
+	seen := make(map[string]bool, len(models))
+	for _, m := range models {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("adapt: %w", err)
+		}
+		if m.MeasDim != models[0].MeasDim {
+			return nil, fmt.Errorf("adapt: model %s has MeasDim %d, want %d", m.Name, m.MeasDim, models[0].MeasDim)
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("adapt: duplicate model name %s", m.Name)
+		}
+		seen[m.Name] = true
+		s.cands = append(s.cands, &candidate{model: m, errs: make([]float64, window)})
+	}
+	return s, nil
+}
+
+// Observe feeds one reading to every shadow filter and records each
+// model's a priori prediction error.
+func (s *Selector) Observe(r stream.Reading) error {
+	s.steps++
+	if s.cooldown > 0 {
+		s.cooldown--
+	}
+	for _, c := range s.cands {
+		if c.filter == nil {
+			f, err := c.model.NewFilter(r.Values)
+			if err != nil {
+				return err
+			}
+			c.filter = f
+			c.observe(0, s.window)
+			continue
+		}
+		c.filter.Predict()
+		score := 0.0
+		switch s.scoring {
+		case ScoreLogLikelihood:
+			ll, err := c.filter.LogLikelihood(vecOf(r.Values))
+			if err != nil {
+				return err
+			}
+			score = -ll // lower is better, matching the error scale
+		default:
+			pred := c.filter.PredictedMeasurement().VecSlice()
+			score = stream.AbsErrorSum(pred, r.Values)
+		}
+		c.observe(score, s.window)
+		if err := c.filter.Correct(vecOf(r.Values)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Active returns the currently selected model.
+func (s *Selector) Active() model.Model { return s.cands[s.active].model }
+
+// Errors returns each candidate's current windowed average error, keyed
+// by model name.
+func (s *Selector) Errors() map[string]float64 {
+	out := make(map[string]float64, len(s.cands))
+	for _, c := range s.cands {
+		out[c.model.Name] = c.avgErr(s.window)
+	}
+	return out
+}
+
+// Propose returns the model the stream should switch to, if any: the
+// challenger with the lowest windowed error, provided the active model's
+// error exceeds it by the hysteresis factor, every window is full, and
+// no switch happened within the last window (cooldown).
+func (s *Selector) Propose() (model.Model, bool) {
+	if s.cooldown > 0 {
+		return model.Model{}, false
+	}
+	for _, c := range s.cands {
+		if !c.filled {
+			return model.Model{}, false
+		}
+	}
+	best := s.active
+	for i, c := range s.cands {
+		if c.avgErr(s.window) < s.cands[best].avgErr(s.window) {
+			best = i
+		}
+	}
+	if best == s.active {
+		return model.Model{}, false
+	}
+	activeScore := s.cands[s.active].avgErr(s.window)
+	bestScore := s.cands[best].avgErr(s.window)
+	switch s.scoring {
+	case ScoreLogLikelihood:
+		// Scores are mean negative log-likelihoods; require a mean
+		// advantage of ln(hysteresis) nats per observation.
+		if activeScore-bestScore <= math.Log(s.hysteresis) {
+			return model.Model{}, false
+		}
+	default:
+		if activeScore <= s.hysteresis*bestScore {
+			return model.Model{}, false
+		}
+	}
+	return s.cands[best].model, true
+}
+
+// Commit records that the proposed switch happened and starts the
+// cooldown.
+func (s *Selector) Commit(name string) error {
+	for i, c := range s.cands {
+		if c.model.Name == name {
+			s.active = i
+			s.cooldown = s.window
+			return nil
+		}
+	}
+	return fmt.Errorf("adapt: Commit to unknown model %s", name)
+}
+
+// reinstallBytes approximates the cost of the control message that tells
+// the server to reinstall under a new model: header + model name.
+const reinstallBytes = 8 + 16
+
+// Runner drives a stream through DKF sessions, switching models online
+// per the Selector's decisions. Each switch tears down the session and
+// bootstraps a new one (the bootstrap transmission and a reinstall
+// control message are charged to the metrics).
+type Runner struct {
+	sourceID string
+	delta    float64
+	f        float64
+	selector *Selector
+
+	session  *core.Session
+	metrics  core.Metrics
+	switches int
+}
+
+// NewRunner builds an adaptive runner with precision width delta and
+// optional smoothing factor f over the selector's candidates.
+func NewRunner(sourceID string, delta, f float64, selector *Selector) (*Runner, error) {
+	if sourceID == "" {
+		return nil, fmt.Errorf("adapt: empty source id")
+	}
+	if delta <= 0 {
+		return nil, fmt.Errorf("adapt: delta = %v, want > 0", delta)
+	}
+	return &Runner{sourceID: sourceID, delta: delta, f: f, selector: selector}, nil
+}
+
+// Step processes one reading: update the shadow bank, switch if
+// proposed, then run the reading through the live DKF session.
+func (r *Runner) Step(reading stream.Reading) error {
+	if err := r.selector.Observe(reading); err != nil {
+		return err
+	}
+	if m, ok := r.selector.Propose(); ok {
+		if err := r.selector.Commit(m.Name); err != nil {
+			return err
+		}
+		r.rotate()
+		r.metrics.BytesSent += reinstallBytes
+		r.switches++
+	}
+	if r.session == nil {
+		sess, err := core.NewSession(core.Config{
+			SourceID: r.sourceID,
+			Model:    r.selector.Active(),
+			Delta:    r.delta,
+			F:        r.f,
+		})
+		if err != nil {
+			return err
+		}
+		r.session = sess
+	}
+	_, err := r.session.Step(reading)
+	return err
+}
+
+// rotate folds the finished session's metrics into the aggregate.
+func (r *Runner) rotate() {
+	if r.session == nil {
+		return
+	}
+	m := r.session.Metrics()
+	r.metrics.Readings += m.Readings
+	r.metrics.Updates += m.Updates
+	r.metrics.BytesSent += m.BytesSent
+	r.metrics.SumAbsErr += m.SumAbsErr
+	r.metrics.SumAbsErrRaw += m.SumAbsErrRaw
+	if m.MaxAbsErr > r.metrics.MaxAbsErr {
+		r.metrics.MaxAbsErr = m.MaxAbsErr
+	}
+	r.metrics.OutliersRejected += m.OutliersRejected
+	r.session = nil
+}
+
+// Run drives a whole dataset and returns the aggregated metrics and the
+// number of model switches.
+func (r *Runner) Run(readings []stream.Reading) (core.Metrics, int, error) {
+	for _, reading := range readings {
+		if err := r.Step(reading); err != nil {
+			return r.Metrics(), r.switches, err
+		}
+	}
+	return r.Metrics(), r.switches, nil
+}
+
+// Metrics returns the aggregate including the live session.
+func (r *Runner) Metrics() core.Metrics {
+	agg := r.metrics
+	if r.session != nil {
+		m := r.session.Metrics()
+		agg.Readings += m.Readings
+		agg.Updates += m.Updates
+		agg.BytesSent += m.BytesSent
+		agg.SumAbsErr += m.SumAbsErr
+		agg.SumAbsErrRaw += m.SumAbsErrRaw
+		if m.MaxAbsErr > agg.MaxAbsErr {
+			agg.MaxAbsErr = m.MaxAbsErr
+		}
+		agg.OutliersRejected += m.OutliersRejected
+	}
+	return agg
+}
+
+// Switches returns how many model switches have fired.
+func (r *Runner) Switches() int { return r.switches }
+
+// ActiveModel returns the name of the currently installed model.
+func (r *Runner) ActiveModel() string { return r.selector.Active().Name }
+
+func vecOf(v []float64) *mat.Matrix { return mat.Vec(v...) }

@@ -1,0 +1,79 @@
+package adapt
+
+import (
+	"testing"
+
+	"streamkf/internal/gen"
+)
+
+func TestNewSelectorScoredValidation(t *testing.T) {
+	if _, err := NewSelectorScored(bank(), 10, 1.5, Scoring(99)); err == nil {
+		t.Fatal("accepted unknown scoring")
+	}
+	if _, err := NewSelectorScored(bank(), 10, 1.5, ScoreLogLikelihood); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLikelihoodScoringPrefersMatchingModel(t *testing.T) {
+	s, err := NewSelectorScored(bank(), 30, 1.5, ScoreLogLikelihood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range gen.Ramp(150, 0, 5, 0.05, 1) {
+		if err := s.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, ok := s.Propose()
+	if !ok || m.Name != "linear" {
+		t.Fatalf("LL Propose = %v, %v; want linear", m.Name, ok)
+	}
+	// Scores are negative log-likelihoods: the linear model's must be
+	// lower (better).
+	errs := s.Errors()
+	if errs["linear"] >= errs["constant"] {
+		t.Fatalf("LL scores: linear %v >= constant %v", errs["linear"], errs["constant"])
+	}
+}
+
+func TestLikelihoodScoringStableOnMatchedStream(t *testing.T) {
+	// On a flat stream matched by the active (constant) model, the LL
+	// scorer must not propose switching.
+	s, err := NewSelectorScored(bank(), 30, 1.5, ScoreLogLikelihood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range gen.Ramp(200, 10, 0, 0.05, 2) { // slope 0, noise 0.05
+		if err := s.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m, ok := s.Propose(); ok {
+		t.Fatalf("LL scorer proposed %s on a matched flat stream", m.Name)
+	}
+}
+
+func TestScoringModesAgreeOnRegimeChange(t *testing.T) {
+	// Both scorers must land on the same final model across the regime
+	// workload; they may differ in switch counts.
+	for _, scoring := range []Scoring{ScoreAbsError, ScoreLogLikelihood} {
+		s, err := NewSelectorScored(bank(), 30, 1.3, scoring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner("s", 2, 0, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.Run(regimeData()); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.ActiveModel(); got != "constant" && got != "linear" {
+			t.Fatalf("scoring %d: final model %q", scoring, got)
+		}
+		if r.Switches() == 0 {
+			t.Fatalf("scoring %d: never switched across regimes", scoring)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package core implements the paper's primary contribution: the Dual
+// Kalman Filter (DKF) protocol for stream update suppression (§3.1,
+// Figure 2).
+//
+// For each continuous query with precision width δ the system installs a
+// Kalman filter KFs at the central server and a byte-identical mirror
+// filter KFm at the remote source. Both filters advance their prediction
+// every time step. The source compares the server's (mirrored) prediction
+// against the actual reading; only when the prediction misses by more
+// than δ does the source transmit an update, which both filters then fold
+// in. An optional smoothing filter KFc at the source, controlled by the
+// user's smoothing factor F, pre-filters noisy streams (§4.3).
+//
+// The load-bearing invariant is mirror synchrony: because KFm and KFs
+// start from the same bootstrap measurement and execute the same sequence
+// of predict/correct operations, they remain bit-identical forever, so
+// the source always knows exactly what the server will answer — without
+// any back-channel. kalman.StateEqual checks this, and the property tests
+// in this package enforce it.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"streamkf/internal/kalman"
+	"streamkf/internal/mat"
+	"streamkf/internal/model"
+	"streamkf/internal/stream"
+)
+
+// Update is the wire message a source sends to the server when the
+// precision constraint would be violated: the raw (or smoothed)
+// measurement at sequence Seq.
+type Update struct {
+	// SourceID identifies the sending source object.
+	SourceID string
+	// Seq is the reading's discrete time index.
+	Seq int
+	// Time is the reading's sampling timestamp in seconds. It lets the
+	// server maintain a seq↔time mapping so clients can query by wall
+	// clock (dsms.AnswerAtTime).
+	Time float64
+	// Values is the measurement vector folded into both filters.
+	Values []float64
+	// Bootstrap marks the first update, which initializes rather than
+	// corrects the server filter.
+	Bootstrap bool
+}
+
+// WireBytes estimates the update's size on the wire: an 8-byte header,
+// 4-byte sequence number, the source id, and 8 bytes per float64. Used
+// for bandwidth and energy accounting.
+func (u Update) WireBytes() int {
+	return 8 + 4 + len(u.SourceID) + 8*len(u.Values)
+}
+
+// Config assembles a DKF deployment for one source/query pair.
+type Config struct {
+	// SourceID names the source object (Table 2's s_i).
+	SourceID string
+	// Model is the stream model installed in KFs and KFm.
+	Model model.Model
+	// Delta is the precision width δ_i.
+	Delta float64
+	// F, when positive, enables the smoothing filter KFc at the source
+	// with process noise covariance F (§4.3). The smoothed value becomes
+	// the measurement both KFm and KFs track, per the paper: "KFm
+	// considers the output from the smoothing filter as the measurement
+	// and operates normally". Multi-attribute streams get one
+	// independent one-state smoother per attribute.
+	F float64
+	// SmootherR is the measurement noise variance assumed by KFc.
+	// Defaults to 1 when F > 0 and SmootherR == 0.
+	SmootherR float64
+	// OutlierNIS, when positive, enables innovation-based outlier
+	// rejection at the source (§3.1 advantage 5): a reading whose
+	// normalized innovation squared exceeds OutlierNIS is treated as a
+	// glitch — neither corrected into the mirror nor transmitted — so
+	// mirror synchrony is preserved.
+	OutlierNIS float64
+	// MaxConsecutiveOutliers bounds how many readings in a row may be
+	// rejected before one is force-transmitted, so a genuine regime
+	// change cannot be starved. Defaults to 5 when outlier rejection is
+	// enabled.
+	MaxConsecutiveOutliers int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SourceID == "" {
+		return errors.New("core: Config.SourceID is empty")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Delta <= 0 {
+		return fmt.Errorf("core: Delta = %v, want > 0", c.Delta)
+	}
+	if c.F < 0 {
+		return fmt.Errorf("core: F = %v, want >= 0", c.F)
+	}
+	if c.OutlierNIS < 0 {
+		return fmt.Errorf("core: OutlierNIS = %v, want >= 0", c.OutlierNIS)
+	}
+	return nil
+}
+
+func (c *Config) applyDefaults() {
+	if c.F > 0 && c.SmootherR == 0 {
+		c.SmootherR = 1
+	}
+	if c.OutlierNIS > 0 && c.MaxConsecutiveOutliers == 0 {
+		c.MaxConsecutiveOutliers = 5
+	}
+}
+
+// SourceNode runs at the remote source: the mirror filter KFm, the
+// optional smoothing filter KFc, and the suppression decision.
+type SourceNode struct {
+	cfg       Config
+	mirror    *kalman.Filter   // KFm, simulating the server's KFs
+	smoothers []*kalman.Filter // KFc bank, one per attribute, optional
+	outliers  int              // consecutive rejected readings
+	stats     SourceStats
+}
+
+// SourceStats counts source-side protocol events.
+type SourceStats struct {
+	// Readings is the number of sensor readings processed.
+	Readings int
+	// Updates is the number of transmissions to the server.
+	Updates int
+	// Suppressed is the number of readings filtered out.
+	Suppressed int
+	// OutliersRejected counts readings dropped by the NIS gate.
+	OutliersRejected int
+	// BytesSent accumulates Update.WireBytes over all transmissions.
+	BytesSent int
+}
+
+// NewSourceNode constructs the source side of a DKF pair.
+func NewSourceNode(cfg Config) (*SourceNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	return &SourceNode{cfg: cfg}, nil
+}
+
+// smooth returns the measurement KFm tracks for the raw reading values:
+// the output of the KFc bank when smoothing is enabled (one independent
+// one-state smoother per attribute), the raw values otherwise. It
+// advances KFc, so call exactly once per reading (Process does).
+func (s *SourceNode) smooth(raw []float64) ([]float64, error) {
+	if s.cfg.F <= 0 {
+		return raw, nil
+	}
+	if s.smoothers == nil {
+		s.smoothers = make([]*kalman.Filter, len(raw))
+		m := model.Smoothing(s.cfg.F, s.cfg.SmootherR)
+		for i, v := range raw {
+			f, err := m.NewFilter([]float64{v})
+			if err != nil {
+				return nil, err
+			}
+			s.smoothers[i] = f
+		}
+		return clone(raw), nil
+	}
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		f := s.smoothers[i]
+		f.Predict()
+		if err := f.Correct(vec([]float64{v})); err != nil {
+			return nil, err
+		}
+		out[i] = f.PredictedMeasurement().At(0, 0)
+	}
+	return out, nil
+}
+
+// smoothedEstimate returns the KFc bank's current output, used by the
+// session for error accounting against the tracked measurement.
+func (s *SourceNode) smoothedEstimate() []float64 {
+	out := make([]float64, len(s.smoothers))
+	for i, f := range s.smoothers {
+		out[i] = f.PredictedMeasurement().At(0, 0)
+	}
+	return out
+}
+
+// Process handles one sensor reading. It returns a non-nil Update when
+// the reading must be transmitted to the server, and the value the server
+// will be answering queries with after this step (the mirrored server
+// estimate).
+func (s *SourceNode) Process(r stream.Reading) (*Update, []float64, error) {
+	if len(r.Values) != s.cfg.Model.MeasDim {
+		return nil, nil, fmt.Errorf("core: reading has %d values, model %s wants %d", len(r.Values), s.cfg.Model.Name, s.cfg.Model.MeasDim)
+	}
+	s.stats.Readings++
+	v, err := s.smooth(r.Values)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.mirror == nil {
+		// Bootstrap: first measurement initializes both filters.
+		f, err := s.cfg.Model.NewFilter(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.mirror = f
+		u := &Update{SourceID: s.cfg.SourceID, Seq: r.Seq, Time: r.Time, Values: clone(v), Bootstrap: true}
+		s.stats.Updates++
+		s.stats.BytesSent += u.WireBytes()
+		return u, s.mirror.PredictedMeasurement().VecSlice(), nil
+	}
+
+	s.mirror.Predict()
+	pred := s.mirror.PredictedMeasurement().VecSlice()
+
+	if stream.WithinPrecision(pred, v, s.cfg.Delta) {
+		// The server's prediction is good enough: suppress.
+		s.stats.Suppressed++
+		s.outliers = 0
+		return nil, pred, nil
+	}
+
+	if s.cfg.OutlierNIS > 0 && s.outliers < s.cfg.MaxConsecutiveOutliers {
+		nis, err := s.mirror.NIS(vec(v))
+		if err == nil && nis > s.cfg.OutlierNIS {
+			// Glitch: reject without transmitting. The mirror keeps its
+			// prediction, exactly as the server will, so synchrony holds.
+			s.outliers++
+			s.stats.OutliersRejected++
+			return nil, pred, nil
+		}
+	}
+	s.outliers = 0
+
+	if err := s.mirror.Correct(vec(v)); err != nil {
+		return nil, nil, err
+	}
+	u := &Update{SourceID: s.cfg.SourceID, Seq: r.Seq, Time: r.Time, Values: clone(v)}
+	s.stats.Updates++
+	s.stats.BytesSent += u.WireBytes()
+	return u, s.mirror.PredictedMeasurement().VecSlice(), nil
+}
+
+// Stats returns the source-side counters.
+func (s *SourceNode) Stats() SourceStats { return s.stats }
+
+// Mirror exposes the mirror filter for invariant checks and diagnostics;
+// nil before the bootstrap reading.
+func (s *SourceNode) Mirror() *kalman.Filter { return s.mirror }
+
+// ServerNode runs at the central server: KFs, which answers queries from
+// its prediction and folds in the updates the source chooses to send.
+//
+// The node is sequence-driven: it tracks the last reading index it has
+// advanced its prediction to, so in a distributed deployment — where the
+// server sees only the sparse update stream — AdvanceTo lazily runs the
+// predict steps for all suppressed readings in between. Because those
+// steps are exactly the ones the mirror executed eagerly, synchrony holds
+// whenever both sides are aligned at the same sequence number.
+type ServerNode struct {
+	cfg     Config
+	filter  *kalman.Filter // KFs
+	ticks   int
+	lastSeq int
+}
+
+// NewServerNode constructs the server side of a DKF pair.
+func NewServerNode(cfg Config) (*ServerNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	return &ServerNode{cfg: cfg}, nil
+}
+
+// Tick advances the server's prediction by one time step on which no
+// update arrived. Before bootstrap it is a no-op (the server has no
+// estimate yet).
+func (s *ServerNode) Tick() {
+	if s.filter == nil {
+		return
+	}
+	s.filter.Predict()
+	s.ticks++
+	s.lastSeq++
+}
+
+// AdvanceTo runs predict steps until the node's prediction corresponds to
+// reading index seq. A no-op before bootstrap or when already at or past
+// seq.
+func (s *ServerNode) AdvanceTo(seq int) {
+	if s.filter == nil {
+		return
+	}
+	for s.lastSeq < seq {
+		s.Tick()
+	}
+}
+
+// Seq returns the reading index the node's estimate corresponds to.
+func (s *ServerNode) Seq() int { return s.lastSeq }
+
+// ApplyUpdate folds a transmitted update into KFs. The first (bootstrap)
+// update initializes the filter; subsequent updates advance prediction up
+// to the update's sequence number and correct, exactly mirroring the
+// source's operation sequence.
+func (s *ServerNode) ApplyUpdate(u Update) error {
+	if s.filter == nil {
+		if !u.Bootstrap {
+			return fmt.Errorf("core: first update for %s is not a bootstrap", u.SourceID)
+		}
+		f, err := s.cfg.Model.NewFilter(u.Values)
+		if err != nil {
+			return err
+		}
+		s.filter = f
+		s.lastSeq = u.Seq
+		return nil
+	}
+	if u.Seq < s.lastSeq {
+		// A query already advanced the prediction beyond this update's
+		// time step: correcting now would run the server's filter ahead
+		// of the mirror's operation sequence and desynchronize them.
+		return fmt.Errorf("core: update for %s at seq %d arrived after prediction advanced to seq %d", u.SourceID, u.Seq, s.lastSeq)
+	}
+	// AdvanceTo is a no-op when a query already advanced exactly to
+	// u.Seq; in that case the server has performed precisely the same
+	// number of predicts as the mirror and the correction aligns.
+	s.AdvanceTo(u.Seq)
+	return s.filter.Correct(vec(u.Values))
+}
+
+// Estimate returns the server's current answer for the stream value, or
+// ok=false before the bootstrap update arrives.
+func (s *ServerNode) Estimate() (values []float64, ok bool) {
+	if s.filter == nil {
+		return nil, false
+	}
+	return s.filter.PredictedMeasurement().VecSlice(), true
+}
+
+// Filter exposes KFs for invariant checks and diagnostics; nil before
+// bootstrap.
+func (s *ServerNode) Filter() *kalman.Filter { return s.filter }
+
+func clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+func vec(v []float64) *mat.Matrix { return mat.Vec(v...) }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"streamkf/internal/mat"
+	"streamkf/internal/model"
+	"streamkf/internal/stream"
+)
+
+// NonlinearConfig assembles an EKF-based DKF deployment (the paper's
+// future work item 3: "developing models for non-linear systems"). The
+// protocol is unchanged — predict every step, transmit only on a δ miss,
+// correct both sides on transmission — with extended Kalman filters in
+// place of the linear pair. The EKF linearizes at its own estimate, and
+// because the mirror and server estimates are identical by construction,
+// both sides linearize identically and synchrony is preserved.
+type NonlinearConfig struct {
+	// SourceID names the source object.
+	SourceID string
+	// Model is the non-linear stream model.
+	Model model.Nonlinear
+	// Delta is the precision width δ.
+	Delta float64
+}
+
+// Validate checks the configuration.
+func (c NonlinearConfig) Validate() error {
+	if c.SourceID == "" {
+		return fmt.Errorf("core: NonlinearConfig.SourceID is empty")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Delta <= 0 {
+		return fmt.Errorf("core: Delta = %v, want > 0", c.Delta)
+	}
+	return nil
+}
+
+// NonlinearSession runs the DKF protocol over a pair of extended Kalman
+// filters in process, with the same metrics as Session.
+type NonlinearSession struct {
+	cfg     NonlinearConfig
+	source  *ekfNode // mirror
+	server  *ekfNode // KFs
+	metrics Metrics
+	prevSeq int
+}
+
+// ekfNode is one side of the nonlinear pair.
+type ekfNode struct {
+	filter interface {
+		Predict()
+		Correct(z *mat.Matrix) error
+		PredictedMeasurement() *mat.Matrix
+		State() *mat.Matrix
+		Cov() *mat.Matrix
+	}
+}
+
+// NewNonlinearSession builds the EKF source/server pair.
+func NewNonlinearSession(cfg NonlinearConfig) (*NonlinearSession, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &NonlinearSession{cfg: cfg, source: &ekfNode{}, server: &ekfNode{}}, nil
+}
+
+// Step processes one reading through the protocol and returns the
+// server-side estimate.
+func (s *NonlinearSession) Step(r stream.Reading) ([]float64, error) {
+	if len(r.Values) != s.cfg.Model.MeasDim {
+		return nil, fmt.Errorf("core: reading has %d values, model %s wants %d", len(r.Values), s.cfg.Model.Name, s.cfg.Model.MeasDim)
+	}
+	if s.metrics.Readings > 0 && r.Seq != s.prevSeq+1 {
+		return nil, fmt.Errorf("core: NonlinearSession requires consecutive sequence numbers, got %d after %d", r.Seq, s.prevSeq)
+	}
+	s.prevSeq = r.Seq
+	s.metrics.Readings++
+
+	if s.source.filter == nil {
+		// Bootstrap both filters from the first measurement.
+		mf, err := s.cfg.Model.NewEKF(r.Values)
+		if err != nil {
+			return nil, err
+		}
+		sf, err := s.cfg.Model.NewEKF(r.Values)
+		if err != nil {
+			return nil, err
+		}
+		s.source.filter, s.server.filter = mf, sf
+		s.metrics.Updates++
+		s.metrics.BytesSent += Update{SourceID: s.cfg.SourceID, Seq: r.Seq, Values: r.Values, Bootstrap: true}.WireBytes()
+		return mf.PredictedMeasurement().VecSlice(), nil
+	}
+
+	s.source.filter.Predict()
+	s.server.filter.Predict()
+	pred := s.source.filter.PredictedMeasurement().VecSlice()
+
+	var est []float64
+	if stream.WithinPrecision(pred, r.Values, s.cfg.Delta) {
+		est = pred
+	} else {
+		z := mat.Vec(r.Values...)
+		if err := s.source.filter.Correct(z); err != nil {
+			return nil, err
+		}
+		if err := s.server.filter.Correct(z); err != nil {
+			return nil, err
+		}
+		s.metrics.Updates++
+		s.metrics.BytesSent += Update{SourceID: s.cfg.SourceID, Seq: r.Seq, Values: r.Values}.WireBytes()
+		est = s.server.filter.PredictedMeasurement().VecSlice()
+	}
+
+	e := stream.AbsErrorSum(r.Values, est)
+	s.metrics.SumAbsErr += e
+	s.metrics.SumAbsErrRaw += e
+	if e > s.metrics.MaxAbsErr {
+		s.metrics.MaxAbsErr = e
+	}
+	return est, nil
+}
+
+// Run drives a whole dataset through the protocol.
+func (s *NonlinearSession) Run(readings []stream.Reading) (Metrics, error) {
+	for _, r := range readings {
+		if _, err := s.Step(r); err != nil {
+			return s.metrics, err
+		}
+	}
+	return s.metrics, nil
+}
+
+// Metrics returns the counters so far.
+func (s *NonlinearSession) Metrics() Metrics { return s.metrics }
+
+// InSync reports whether the mirror and server EKFs hold identical state
+// and covariance — the nonlinear mirror-synchrony invariant.
+func (s *NonlinearSession) InSync() bool {
+	if s.source.filter == nil || s.server.filter == nil {
+		return s.source.filter == s.server.filter
+	}
+	return mat.Equal(s.source.filter.State(), s.server.filter.State()) &&
+		mat.Equal(s.source.filter.Cov(), s.server.filter.Cov())
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkf/internal/baseline"
+	"streamkf/internal/model"
+	"streamkf/internal/stream"
+)
+
+// pendulumData simulates a damped pendulum's measured angle.
+func pendulumData(n int, dt, gOverL, damping, noiseStd float64, seed int64) []stream.Reading {
+	rng := rand.New(rand.NewSource(seed))
+	th, om := 1.2, 0.0
+	out := make([]stream.Reading, n)
+	for k := 0; k < n; k++ {
+		om = (1-damping*dt)*om - gOverL*math.Sin(th)*dt
+		th += om * dt
+		out[k] = stream.Reading{Seq: k, Time: float64(k) * dt, Values: []float64{th + noiseStd*rng.NormFloat64()}}
+	}
+	return out
+}
+
+func pendulumCfg(delta float64) NonlinearConfig {
+	return NonlinearConfig{
+		SourceID: "pend",
+		Model:    model.Pendulum(0.02, 9.8, 0.05, 1e-6, 1e-4),
+		Delta:    delta,
+	}
+}
+
+func TestNonlinearConfigValidate(t *testing.T) {
+	if err := pendulumCfg(0.1).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := pendulumCfg(0.1)
+	bad.SourceID = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted empty source")
+	}
+	bad = pendulumCfg(0)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted zero delta")
+	}
+	bad = pendulumCfg(0.1)
+	bad.Model.F = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted broken model")
+	}
+}
+
+func TestNonlinearSuppressionOnPendulum(t *testing.T) {
+	// The EKF locks onto the pendulum dynamics and suppresses almost
+	// everything; a value cache at the same precision must chatter,
+	// because the angle keeps swinging.
+	data := pendulumData(3000, 0.02, 9.8, 0.05, 0.002, 1)
+	sess, err := NewNonlinearSession(pendulumCfg(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sess.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.InSync() {
+		t.Fatal("EKF mirror out of sync")
+	}
+	cache, err := baseline.NewCache(0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := cache.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PercentUpdates() >= cm.PercentUpdates()/2 {
+		t.Fatalf("EKF-DKF %.1f%% vs cache %.1f%%: expected at least 2x suppression", m.PercentUpdates(), cm.PercentUpdates())
+	}
+	if m.AvgErr() > 0.1 {
+		t.Fatalf("avg error %v too large for delta 0.05", m.AvgErr())
+	}
+}
+
+func TestNonlinearSessionBootstrapAndSeqChecks(t *testing.T) {
+	sess, err := NewNonlinearSession(pendulumCfg(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.InSync() {
+		t.Fatal("empty session not trivially in sync")
+	}
+	if _, err := sess.Step(stream.Reading{Seq: 0, Values: []float64{1, 2}}); err == nil {
+		t.Fatal("accepted wrong arity")
+	}
+	if _, err := sess.Step(stream.Reading{Seq: 0, Values: []float64{1.0}}); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Metrics().Updates != 1 {
+		t.Fatalf("bootstrap not counted: %+v", sess.Metrics())
+	}
+	if _, err := sess.Step(stream.Reading{Seq: 5, Values: []float64{1.0}}); err == nil {
+		t.Fatal("accepted non-consecutive seq")
+	}
+}
+
+func TestNonlinearMirrorSynchronyThroughout(t *testing.T) {
+	data := pendulumData(1000, 0.02, 9.8, 0.05, 0.01, 9)
+	sess, err := NewNonlinearSession(pendulumCfg(0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range data {
+		if _, err := sess.Step(r); err != nil {
+			t.Fatal(err)
+		}
+		if !sess.InSync() {
+			t.Fatalf("mirror desynchronized at seq %d", r.Seq)
+		}
+	}
+}
+
+func TestNonlinearBeatsLinearModelOnPendulum(t *testing.T) {
+	// The point of future work 3: on genuinely non-linear dynamics the
+	// EKF model suppresses more than the best linear model.
+	data := pendulumData(3000, 0.02, 9.8, 0.05, 0.002, 4)
+	nl, err := NewNonlinearSession(pendulumCfg(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := nl.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := NewSession(Config{SourceID: "pend", Model: model.Linear(1, 1, 1e-6, 1e-4), Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := lin.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.PercentUpdates() >= lm.PercentUpdates() {
+		t.Fatalf("EKF %.2f%% not below linear %.2f%% on pendulum", nm.PercentUpdates(), lm.PercentUpdates())
+	}
+}

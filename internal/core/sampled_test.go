@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"streamkf/internal/gen"
+	"streamkf/internal/model"
+	"streamkf/internal/stream"
+)
+
+func newSampled(t *testing.T, delta float64, maxStride int) *SampledSession {
+	t.Helper()
+	sampler, err := NewAdaptiveSampler(delta, 0.5, maxStride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSampledSession(linearCfg(delta), sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestNewSampledSessionNilSampler(t *testing.T) {
+	if _, err := NewSampledSession(linearCfg(1), nil); err == nil {
+		t.Fatal("accepted nil sampler")
+	}
+}
+
+func TestSampledSkipsOnPredictableStream(t *testing.T) {
+	sess := newSampled(t, 2, 16)
+	m, err := sess.Run(gen.Ramp(1000, 0, 1.5, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Skipped == 0 {
+		t.Fatal("sampler never skipped on a noiseless ramp")
+	}
+	if m.PercentSensed() > 40 {
+		t.Fatalf("duty cycle %.1f%% on a trivially predictable stream", m.PercentSensed())
+	}
+	// Sleeping must not wreck accuracy: the model extrapolates the ramp.
+	if m.AvgErr() > 4 {
+		t.Fatalf("avg error %v with sampling, want small on a ramp", m.AvgErr())
+	}
+	if m.Sensed+m.Skipped != m.Readings {
+		t.Fatalf("sensed %d + skipped %d != readings %d", m.Sensed, m.Skipped, m.Readings)
+	}
+}
+
+func TestSampledSensesEverythingOnChaos(t *testing.T) {
+	sess := newSampled(t, 1, 16)
+	m, err := sess.Run(gen.RandomWalk(500, 0, 5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PercentSensed() < 80 {
+		t.Fatalf("duty cycle %.1f%% on an unpredictable stream, want near 100%%", m.PercentSensed())
+	}
+}
+
+func TestSampledMirrorStaysInSyncWithServer(t *testing.T) {
+	// After any run, advancing the server to the mirror's step must make
+	// them agree — skipped steps are covered by lazy prediction.
+	sess := newSampled(t, 2, 8)
+	data := gen.Ramp(300, 0, 2, 0.05, 4)
+	if _, err := sess.Run(data); err != nil {
+		t.Fatal(err)
+	}
+	sess.server.AdvanceTo(data[len(data)-1].Seq)
+	srvEst, ok := sess.server.Estimate()
+	if !ok {
+		t.Fatal("server has no estimate")
+	}
+	mirrorEst := sess.source.Mirror().PredictedMeasurement().VecSlice()
+	if len(srvEst) != len(mirrorEst) {
+		t.Fatal("estimate arity mismatch")
+	}
+	for i := range srvEst {
+		if srvEst[i] != mirrorEst[i] {
+			t.Fatalf("server %v != mirror %v after catch-up", srvEst, mirrorEst)
+		}
+	}
+}
+
+func TestSkipTickBeforeBootstrap(t *testing.T) {
+	src, err := NewSourceNode(linearCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.SkipTick(); err == nil {
+		t.Fatal("SkipTick before bootstrap succeeded")
+	}
+}
+
+func TestSampledMetricsZero(t *testing.T) {
+	var m SampledMetrics
+	if m.PercentSensed() != 0 {
+		t.Fatal("zero metrics PercentSensed != 0")
+	}
+}
+
+func TestSampledReactsToRegimeChange(t *testing.T) {
+	// Flat phase lets the stride widen; the jump must pull it back and
+	// the estimate must re-converge.
+	var data []stream.Reading
+	for i := 0; i < 300; i++ {
+		data = append(data, stream.Reading{Seq: i, Values: []float64{5}})
+	}
+	for i := 300; i < 600; i++ {
+		data = append(data, stream.Reading{Seq: i, Values: []float64{5 + 3*float64(i-300)}})
+	}
+	sampler, err := NewAdaptiveSampler(2, 0.5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{SourceID: "s1", Model: model.Linear(1, 1, 0.05, 0.05), Delta: 2}
+	sess, err := NewSampledSession(cfg, sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastEst []float64
+	for _, r := range data {
+		est, err := sess.Step(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastEst = est
+	}
+	want := 5 + 3*299.0
+	if d := lastEst[0] - want; d > 20 || d < -20 {
+		t.Fatalf("final estimate %v, want ~%v", lastEst[0], want)
+	}
+	if sess.Metrics().Skipped == 0 {
+		t.Fatal("no skipping during the flat phase")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"streamkf/internal/gen"
+	"streamkf/internal/kalman"
+	"streamkf/internal/stream"
+)
+
+func TestServerNodeAdvanceToAndSeq(t *testing.T) {
+	srv, err := NewServerNode(linearCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AdvanceTo(10) // no-op before bootstrap
+	if srv.Seq() != 0 {
+		t.Fatalf("pre-bootstrap Seq = %d", srv.Seq())
+	}
+	if err := srv.ApplyUpdate(Update{SourceID: "s1", Seq: 5, Values: []float64{2}, Bootstrap: true}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Seq() != 5 {
+		t.Fatalf("bootstrap Seq = %d, want 5", srv.Seq())
+	}
+	srv.AdvanceTo(8)
+	if srv.Seq() != 8 {
+		t.Fatalf("Seq after AdvanceTo(8) = %d", srv.Seq())
+	}
+	srv.AdvanceTo(3) // never rewinds
+	if srv.Seq() != 8 {
+		t.Fatalf("AdvanceTo rewound to %d", srv.Seq())
+	}
+}
+
+func TestServerNodeUpdateAtCurrentSeqAllowed(t *testing.T) {
+	// A query may have lazily advanced the prediction to exactly the
+	// update's seq; correcting there is synchronous and must succeed.
+	cfg := linearCfg(1)
+	srv, err := NewServerNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSourceNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _, err := src.Process(stream.Reading{Seq: 0, Values: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ApplyUpdate(*u); err != nil {
+		t.Fatal(err)
+	}
+	// Query advances the server to seq 1 before the source's update
+	// for seq 1 arrives.
+	srv.AdvanceTo(1)
+	u2, _, err := src.Process(stream.Reading{Seq: 1, Values: []float64{100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2 == nil {
+		t.Fatal("expected an update for the jump to 100")
+	}
+	if err := srv.ApplyUpdate(*u2); err != nil {
+		t.Fatalf("aligned-seq update rejected: %v", err)
+	}
+	if !kalman.StateEqual(src.Mirror(), srv.Filter()) {
+		t.Fatal("mirror out of sync after aligned-seq correction")
+	}
+}
+
+func TestServerNodeUpdateBehindPredictionRejected(t *testing.T) {
+	cfg := linearCfg(1)
+	srv, err := NewServerNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ApplyUpdate(Update{SourceID: "s1", Seq: 0, Values: []float64{0}, Bootstrap: true}); err != nil {
+		t.Fatal(err)
+	}
+	srv.AdvanceTo(10)
+	err = srv.ApplyUpdate(Update{SourceID: "s1", Seq: 4, Values: []float64{1}})
+	if err == nil {
+		t.Fatal("accepted update behind the advanced prediction")
+	}
+}
+
+func TestSessionRejectsNonConsecutiveSeq(t *testing.T) {
+	sess, err := NewSession(linearCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Step(stream.Reading{Seq: 0, Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Step(stream.Reading{Seq: 7, Values: []float64{1}}); err == nil {
+		t.Fatal("accepted a sequence gap")
+	}
+}
+
+func TestServerExtrapolatesWhileSourceSilent(t *testing.T) {
+	// The headline capability: after the source goes silent on a locked
+	// trend, the server's AdvanceTo answers future queries by
+	// extrapolation.
+	cfg := linearCfg(1)
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := gen.Ramp(200, 0, 2, 0, 1)
+	if _, err := sess.Run(data); err != nil {
+		t.Fatal(err)
+	}
+	sess.Server().AdvanceTo(250)
+	est, ok := sess.Server().Estimate()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(est[0]-500) > 5 {
+		t.Fatalf("extrapolated estimate %v, want ~500", est[0])
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"streamkf/internal/gen"
+	"streamkf/internal/kalman"
+)
+
+func TestLossyTransportValidation(t *testing.T) {
+	direct := TransportFunc(func(Update) error { return nil })
+	if _, err := NewLossyTransport(nil, 0.1, LossSilent, 1); err == nil {
+		t.Fatal("accepted nil inner")
+	}
+	if _, err := NewLossyTransport(direct, -0.1, LossSilent, 1); err == nil {
+		t.Fatal("accepted negative p")
+	}
+	if _, err := NewLossyTransport(direct, 1.0, LossSilent, 1); err == nil {
+		t.Fatal("accepted p = 1")
+	}
+}
+
+func TestReliableTransportValidation(t *testing.T) {
+	direct := TransportFunc(func(Update) error { return nil })
+	if _, err := NewReliableTransport(nil, 3); err == nil {
+		t.Fatal("accepted nil inner")
+	}
+	if _, err := NewReliableTransport(direct, 0); err == nil {
+		t.Fatal("accepted maxRetries 0")
+	}
+}
+
+func TestSilentLossBreaksMirrorSynchrony(t *testing.T) {
+	// The negative result that justifies acknowledged delivery: with
+	// fire-and-forget loss, the mirror and server filters diverge and
+	// the server's answers blow past the precision constraint.
+	cfg := linearCfg(1)
+	sess, err := NewSessionWithTransport(cfg, func(direct Transport) (Transport, error) {
+		return NewLossyTransport(direct, 0.3, LossSilent, 7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := gen.RandomWalk(500, 0, 3, 5)
+	m, err := sess.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kalman.StateEqual(sess.Source().Mirror(), sess.Server().Filter()) {
+		t.Fatal("mirror and server still in sync despite silent loss (loss not injected?)")
+	}
+	// Divergence shows up as server-side error far above delta.
+	if m.MaxAbsErr < 3*cfg.Delta {
+		t.Fatalf("max error %v under silent loss; expected gross violation of delta=%v", m.MaxAbsErr, cfg.Delta)
+	}
+}
+
+func TestReliableTransportMasksLoss(t *testing.T) {
+	// With detectable loss plus retry, the run is indistinguishable from
+	// a lossless one: same sync, same updates delivered.
+	cfg := linearCfg(1)
+	var reliable *ReliableTransport
+	var lossy *LossyTransport
+	sess, err := NewSessionWithTransport(cfg, func(direct Transport) (Transport, error) {
+		var err error
+		lossy, err = NewLossyTransport(direct, 0.3, LossDetect, 7)
+		if err != nil {
+			return nil, err
+		}
+		reliable, err = NewReliableTransport(lossy, 50)
+		return reliable, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.CheckSync = true
+	data := gen.RandomWalk(500, 0, 3, 5)
+	m, err := sess.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kalman.StateEqual(sess.Source().Mirror(), sess.Server().Filter()) {
+		t.Fatal("mirror out of sync despite reliable delivery")
+	}
+	if lossy.Dropped() == 0 {
+		t.Fatal("no losses injected; test is vacuous")
+	}
+	if reliable.Retries() < lossy.Dropped() {
+		t.Fatalf("retries %d < drops %d", reliable.Retries(), lossy.Dropped())
+	}
+	// Compare against a lossless run: identical update count.
+	ref, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := ref.Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Updates != rm.Updates {
+		t.Fatalf("updates with retry %d != lossless %d", m.Updates, rm.Updates)
+	}
+}
+
+func TestReliableTransportGivesUpLoudly(t *testing.T) {
+	alwaysDrop := TransportFunc(func(Update) error { return ErrDropped })
+	r, err := NewReliableTransport(alwaysDrop, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Send(Update{Seq: 9}); err == nil {
+		t.Fatal("Send succeeded against a black hole")
+	} else if !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want wrapped ErrDropped", err)
+	}
+}
+
+func TestReliableTransportPassesRealErrors(t *testing.T) {
+	boom := errors.New("protocol violation")
+	bad := TransportFunc(func(Update) error { return boom })
+	r, err := NewReliableTransport(bad, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Send(Update{}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the protocol error unretried", err)
+	}
+	if r.Retries() != 0 {
+		t.Fatalf("retried a non-transit error %d times", r.Retries())
+	}
+}
+
+func TestNewSessionWithTransportNilWrap(t *testing.T) {
+	sess, err := NewSessionWithTransport(linearCfg(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(gen.Ramp(50, 0, 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := NewSessionWithTransport(linearCfg(1), func(Transport) (Transport, error) { return nil, nil })
+	if err == nil || bad != nil {
+		t.Fatal("accepted nil transport from wrap")
+	}
+}

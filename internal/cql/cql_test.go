@@ -1,0 +1,187 @@
+package cql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"streamkf/internal/core"
+	"streamkf/internal/dsms"
+	"streamkf/internal/gen"
+	"streamkf/internal/stream"
+)
+
+func TestLex(t *testing.T) {
+	toks, err := lex("SELECT avg FROM a-1, b_2 WITHIN 3.5 SMOOTH 1e-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokIdent, tokIdent, tokIdent, tokIdent, tokComma, tokIdent, tokIdent, tokNumber, tokIdent, tokNumber, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), toks, len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Fatalf("token %d = %v, want kind %v", i, toks[i], k)
+		}
+	}
+	if toks[7].text != "3.5" || toks[9].text != "1e-7" {
+		t.Fatalf("number texts: %q %q", toks[7].text, toks[9].text)
+	}
+}
+
+func TestLexBadRune(t *testing.T) {
+	if _, err := lex("SELECT * FROM x"); err == nil {
+		t.Fatal("lexed '*' without error")
+	}
+}
+
+func TestParseValueStatement(t *testing.T) {
+	st, err := Parse("SELECT VALUE FROM vehicle7 MODEL linear2d WITHIN 3 AS track")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Selector != SelValue || st.Sources[0] != "vehicle7" || st.Model != "linear2d" ||
+		st.Delta != 3 || st.F != 0 || st.Name != "track" {
+		t.Fatalf("parsed %+v", st)
+	}
+	if st.IsAggregate() {
+		t.Fatal("VALUE statement reported aggregate")
+	}
+	q, err := st.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != "track" || q.SourceID != "vehicle7" || q.Delta != 3 {
+		t.Fatalf("query = %+v", q)
+	}
+	if _, err := st.AggregateQuery(); err == nil {
+		t.Fatal("AggregateQuery on VALUE statement succeeded")
+	}
+}
+
+func TestParseAggregateStatement(t *testing.T) {
+	st, err := Parse("select Sum from z1, z2, z3 within 9 model linear smooth 1e-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Selector != SelSum || len(st.Sources) != 3 || st.F != 1e-7 {
+		t.Fatalf("parsed %+v", st)
+	}
+	if st.Name != "sum-z1-z2-z3" {
+		t.Fatalf("derived name = %q", st.Name)
+	}
+	agg, err := st.AggregateQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Func != dsms.AggSum || agg.Delta != 9 || len(agg.SourceIDs) != 3 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if _, err := st.Query(); err == nil {
+		t.Fatal("Query on aggregate statement succeeded")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("sElEcT vAlUe FrOm s MoDeL constant WiThIn 1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                                   // empty
+		"INSERT VALUE FROM x MODEL m WITHIN 1",               // not SELECT
+		"SELECT median FROM x MODEL m WITHIN 1",              // bad selector
+		"SELECT VALUE x MODEL m WITHIN 1",                    // missing FROM
+		"SELECT VALUE FROM MODEL m WITHIN 1",                 // reserved word as source
+		"SELECT VALUE FROM x WITHIN 1",                       // missing MODEL
+		"SELECT VALUE FROM x MODEL m",                        // missing WITHIN
+		"SELECT VALUE FROM x MODEL m WITHIN 0",               // zero delta
+		"SELECT VALUE FROM x MODEL m WITHIN -2",              // negative delta
+		"SELECT VALUE FROM x, y MODEL m WITHIN 1",            // VALUE with 2 sources
+		"SELECT VALUE FROM x MODEL m WITHIN 1 AS",            // dangling AS
+		"SELECT VALUE FROM x MODEL m WITHIN one",             // non-numeric delta
+		"SELECT VALUE FROM x MODEL m WITHIN 1 LIMIT 5",       // unknown clause
+		"SELECT VALUE FROM x MODEL m WITHIN 1 WITHIN 2",      // duplicate clause
+		"SELECT AVG FROM x MODEL m WITHIN 1 SMOOTH -1",       // negative F
+		"SELECT VALUE FROM x, MODEL m WITHIN 1",              // comma then keyword
+		"SELECT VALUE FROM x MODEL m WITHIN 1 AS 5something", // name starts numeric -> number token
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded", c)
+		}
+	}
+}
+
+func TestParseIdentsWithDigitsAndDashes(t *testing.T) {
+	st, err := Parse("SELECT VALUE FROM sensor-17.cpu MODEL constant WITHIN 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sources[0] != "sensor-17.cpu" {
+		t.Fatalf("source = %q", st.Sources[0])
+	}
+}
+
+func TestInstallEndToEnd(t *testing.T) {
+	catalog := dsms.DefaultCatalog(1)
+	server := dsms.NewServer(catalog)
+
+	name, err := Install(server, "SELECT VALUE FROM ramp MODEL linear WITHIN 2 AS r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "r" {
+		t.Fatalf("installed name = %q", name)
+	}
+	aggName, err := Install(server, "SELECT AVG FROM a, b MODEL linear WITHIN 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream3 := func(src string, start float64) {
+		cfg, err := server.InstallFor(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent, err := dsms.NewAgent(cfg, core.TransportFunc(func(u core.Update) error { return server.HandleUpdate(u) }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agent.Run(stream.NewSliceSource(gen.Ramp(100, start, 1, 0.01, 5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream3("ramp", 0)
+	stream3("a", 0)
+	stream3("b", 100)
+
+	ans, err := server.Answer("r", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ans[0]-99) > 4 {
+		t.Fatalf("value answer = %v, want ~99", ans[0])
+	}
+	agg, err := server.AnswerAggregate(aggName, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(agg-149) > 8 {
+		t.Fatalf("aggregate answer = %v, want ~149", agg)
+	}
+}
+
+func TestInstallParseError(t *testing.T) {
+	server := dsms.NewServer(dsms.DefaultCatalog(1))
+	if _, err := Install(server, "bogus"); err == nil {
+		t.Fatal("installed bogus statement")
+	}
+	// Valid syntax but unknown model must surface the server error.
+	if _, err := Install(server, "SELECT VALUE FROM x MODEL nope WITHIN 1"); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Fatalf("err = %v, want unknown model", err)
+	}
+}

@@ -1,0 +1,58 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that every accepted
+// statement satisfies the documented invariants.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT VALUE FROM vehicle7 MODEL linear2d WITHIN 3 AS track",
+		"SELECT AVG FROM z1, z2 MODEL linear WITHIN 50 SMOOTH 1e-7 AS load",
+		"select min from a,b,c model constant within 0.5",
+		"SELECT SUM FROM x MODEL m WITHIN 1e3",
+		"",
+		"SELECT",
+		"SELECT VALUE FROM , MODEL m WITHIN 1",
+		"SELECT VALUE FROM x MODEL m WITHIN -1",
+		"ШЕLECT VALUE FROM x",
+		"SELECT VALUE FROM x MODEL m WITHIN 1 AS \x00",
+		strings.Repeat("a ", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if st.Delta <= 0 {
+			t.Fatalf("accepted statement with delta %v: %q", st.Delta, input)
+		}
+		if st.F < 0 {
+			t.Fatalf("accepted statement with F %v: %q", st.F, input)
+		}
+		if len(st.Sources) == 0 {
+			t.Fatalf("accepted statement with no sources: %q", input)
+		}
+		if st.Selector == SelValue && len(st.Sources) != 1 {
+			t.Fatalf("VALUE with %d sources: %q", len(st.Sources), input)
+		}
+		if st.Model == "" || st.Name == "" {
+			t.Fatalf("accepted statement with empty model/name: %q", input)
+		}
+		// Conversions must succeed for the matching shape.
+		if st.IsAggregate() {
+			if _, err := st.AggregateQuery(); err != nil {
+				t.Fatalf("aggregate conversion failed: %v (%q)", err, input)
+			}
+		} else {
+			if _, err := st.Query(); err != nil {
+				t.Fatalf("query conversion failed: %v (%q)", err, input)
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+// Package cql implements a small continuous-query language for the DSMS,
+// in the spirit of STREAM's CQL, restricted to the query shapes the
+// paper's architecture supports (Figure 1: a user issues a query with a
+// precision constraint; the server installs filters).
+//
+// Grammar (keywords case-insensitive):
+//
+//	stmt      := SELECT selector FROM source {"," source} clause*
+//	selector  := VALUE | AVG | SUM | MIN | MAX
+//	clause    := MODEL ident | WITHIN number | SMOOTH number | AS ident
+//
+// WITHIN (the precision width δ) and MODEL are required; AS names the
+// query (defaulting to a derived name); SMOOTH sets the smoothing factor
+// F. VALUE takes exactly one source; the aggregate selectors take one or
+// more.
+//
+// Examples:
+//
+//	SELECT VALUE FROM vehicle7 MODEL linear2d WITHIN 3 AS track
+//	SELECT AVG FROM zone1, zone2 MODEL linear WITHIN 50 SMOOTH 1e-7 AS meanload
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexed tokens.
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota
+	tokNumber
+	tokComma
+	tokEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokComma:
+		return "','"
+	default:
+		return "end of input"
+	}
+}
+
+// token is one lexed unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes a statement. Identifiers may contain letters, digits,
+// '_', '-' and '.'. Numbers are Go-style floats (scientific notation
+// allowed).
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case isNumStart(input, i):
+			start := i
+			i = scanNumber(input, i)
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case isIdentRune(c):
+			start := i
+			for i < len(input) && isIdentRune(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[start:i], pos: start})
+		default:
+			return nil, fmt.Errorf("cql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+func isIdentRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '.'
+}
+
+// isNumStart reports whether a number begins at offset i: a digit, or a
+// sign/dot immediately followed by a digit. Identifiers may contain
+// digits and dashes, so a bare leading digit wins only when the whole
+// token parses as a number — handled by scanNumber's maximal munch plus
+// the keyword check in the parser.
+func isNumStart(s string, i int) bool {
+	c := s[i]
+	if c >= '0' && c <= '9' {
+		return true
+	}
+	if (c == '+' || c == '-' || c == '.') && i+1 < len(s) {
+		n := s[i+1]
+		return n >= '0' && n <= '9'
+	}
+	return false
+}
+
+// scanNumber consumes a float literal: digits, optional fraction,
+// optional exponent.
+func scanNumber(s string, i int) int {
+	if s[i] == '+' || s[i] == '-' {
+		i++
+	}
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(s) && (s[i] == 'e' || s[i] == 'E') {
+		j := i + 1
+		if j < len(s) && (s[j] == '+' || s[j] == '-') {
+			j++
+		}
+		if j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			i = j
+			for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+				i++
+			}
+		}
+	}
+	return i
+}
+
+// keyword reports whether tok is the given keyword, case-insensitively.
+func keyword(tok token, kw string) bool {
+	return tok.kind == tokIdent && strings.EqualFold(tok.text, kw)
+}

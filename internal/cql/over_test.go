@@ -1,0 +1,97 @@
+package cql
+
+import (
+	"math"
+	"testing"
+
+	"streamkf/internal/core"
+	"streamkf/internal/dsms"
+	"streamkf/internal/stream"
+)
+
+func TestParseOverClause(t *testing.T) {
+	st, err := Parse("SELECT AVG FROM zone OVER 24 MODEL linear WITHIN 25 AS dayload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsWindowed() || st.IsAggregate() {
+		t.Fatalf("classification wrong: windowed=%v aggregate=%v", st.IsWindowed(), st.IsAggregate())
+	}
+	if st.Over != 24 {
+		t.Fatalf("Over = %d", st.Over)
+	}
+	wq, err := st.WindowQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wq.N != 24 || wq.Func != dsms.AggAvg || wq.SourceID != "zone" || wq.ID != "dayload" {
+		t.Fatalf("window query = %+v", wq)
+	}
+	if _, err := st.Query(); err == nil {
+		t.Fatal("Query() on windowed statement succeeded")
+	}
+	if _, err := st.AggregateQuery(); err == nil {
+		t.Fatal("AggregateQuery() on windowed statement succeeded")
+	}
+}
+
+func TestParseOverErrors(t *testing.T) {
+	cases := []string{
+		"SELECT VALUE FROM z OVER 24 MODEL m WITHIN 1",     // VALUE cannot window
+		"SELECT AVG FROM a, b OVER 24 MODEL m WITHIN 1",    // multi-source window
+		"SELECT AVG FROM z OVER 0 MODEL m WITHIN 1",        // zero window
+		"SELECT AVG FROM z OVER 2.5 MODEL m WITHIN 1",      // fractional window
+		"SELECT AVG FROM z OVER -3 MODEL m WITHIN 1",       // negative window
+		"SELECT AVG FROM z OVER x MODEL m WITHIN 1",        // non-numeric
+		"SELECT AVG FROM z OVER 4 OVER 8 MODEL m WITHIN 1", // duplicate
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded", c)
+		}
+	}
+}
+
+func TestWindowQueryOnNonWindowed(t *testing.T) {
+	st, err := Parse("SELECT AVG FROM a, b MODEL m WITHIN 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.WindowQuery(); err == nil {
+		t.Fatal("WindowQuery on un-windowed statement succeeded")
+	}
+}
+
+func TestInstallWindowedEndToEnd(t *testing.T) {
+	catalog := dsms.DefaultCatalog(1)
+	server := dsms.NewServer(catalog)
+	name, err := Install(server, "SELECT AVG FROM zone OVER 8 MODEL constant WITHIN 1 AS smooth-load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "smooth-load" {
+		t.Fatalf("installed name %q", name)
+	}
+	cfg, err := server.InstallFor("zone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := dsms.NewAgent(cfg, core.TransportFunc(server.HandleUpdate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = 100
+	}
+	if err := agent.Run(stream.NewSliceSource(stream.FromValues(vals, 1))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.AnswerWindow("smooth-load", 39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100) > 2 {
+		t.Fatalf("windowed answer = %v, want ~100", got)
+	}
+}

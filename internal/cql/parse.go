@@ -1,0 +1,328 @@
+package cql
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"streamkf/internal/dsms"
+	"streamkf/internal/stream"
+)
+
+// Selector is what the statement computes.
+type Selector string
+
+// Supported selectors.
+const (
+	SelValue Selector = "value"
+	SelAvg   Selector = "avg"
+	SelSum   Selector = "sum"
+	SelMin   Selector = "min"
+	SelMax   Selector = "max"
+)
+
+// Statement is a parsed continuous query.
+type Statement struct {
+	// Selector is VALUE or an aggregate function.
+	Selector Selector
+	// Sources are the target source object ids.
+	Sources []string
+	// Model names the stream model to install.
+	Model string
+	// Delta is the precision width δ (WITHIN clause).
+	Delta float64
+	// F is the smoothing factor (SMOOTH clause; 0 when absent).
+	F float64
+	// Over is the trailing window length in readings (OVER clause; 0
+	// means un-windowed). Only aggregate selectors over a single source
+	// may be windowed.
+	Over int
+	// Name is the query id (AS clause; derived when absent).
+	Name string
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(tok token, format string, args ...any) error {
+	return fmt.Errorf("cql: %s at offset %d in %q", fmt.Sprintf(format, args...), tok.pos, p.src)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !keyword(t, kw) {
+		return p.errf(t, "expected %s, got %q", strings.ToUpper(kw), t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent(what string) (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", p.errf(t, "expected %s, got %s", what, t.kind)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectNumber(what string) (float64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, p.errf(t, "expected %s, got %s", what, t.kind)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, p.errf(t, "bad %s %q", what, t.text)
+	}
+	return v, nil
+}
+
+// Parse parses one statement.
+func Parse(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelector()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	sources, err := p.parseSources()
+	if err != nil {
+		return nil, err
+	}
+
+	st := &Statement{Selector: sel, Sources: sources}
+	seen := map[string]bool{}
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			break
+		}
+		var clause string
+		switch {
+		case keyword(t, "model"):
+			clause = "model"
+			p.next()
+			st.Model, err = p.expectIdent("model name")
+		case keyword(t, "within"):
+			clause = "within"
+			p.next()
+			st.Delta, err = p.expectNumber("precision width")
+		case keyword(t, "smooth"):
+			clause = "smooth"
+			p.next()
+			st.F, err = p.expectNumber("smoothing factor")
+		case keyword(t, "over"):
+			clause = "over"
+			p.next()
+			var n float64
+			n, err = p.expectNumber("window length")
+			if err == nil {
+				if n < 1 || n != math.Trunc(n) {
+					return nil, p.errf(t, "OVER wants a positive integer, got %v", n)
+				}
+				st.Over = int(n)
+			}
+		case keyword(t, "as"):
+			clause = "as"
+			p.next()
+			st.Name, err = p.expectIdent("query name")
+		default:
+			return nil, p.errf(t, "expected MODEL, WITHIN, SMOOTH, OVER or AS, got %q", t.text)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if seen[clause] {
+			return nil, p.errf(t, "duplicate %s clause", strings.ToUpper(clause))
+		}
+		seen[clause] = true
+	}
+
+	if err := st.validate(); err != nil {
+		return nil, err
+	}
+	if st.Name == "" {
+		st.Name = st.deriveName()
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelector() (Selector, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", p.errf(t, "expected selector, got %s", t.kind)
+	}
+	switch strings.ToLower(t.text) {
+	case "value":
+		return SelValue, nil
+	case "avg":
+		return SelAvg, nil
+	case "sum":
+		return SelSum, nil
+	case "min":
+		return SelMin, nil
+	case "max":
+		return SelMax, nil
+	default:
+		return "", p.errf(t, "unknown selector %q (want VALUE, AVG, SUM, MIN or MAX)", t.text)
+	}
+}
+
+func (p *parser) parseSources() ([]string, error) {
+	var out []string
+	for {
+		id, err := p.expectIdent("source id")
+		if err != nil {
+			return nil, err
+		}
+		if isReserved(id) {
+			return nil, fmt.Errorf("cql: %q is a reserved word, not a source id, in %q", id, p.src)
+		}
+		out = append(out, id)
+		if p.peek().kind != tokComma {
+			return out, nil
+		}
+		p.next()
+	}
+}
+
+func isReserved(s string) bool {
+	switch strings.ToLower(s) {
+	case "select", "from", "model", "within", "smooth", "over", "as", "value", "avg", "sum", "min", "max":
+		return true
+	}
+	return false
+}
+
+func (s *Statement) validate() error {
+	if s.Model == "" {
+		return fmt.Errorf("cql: missing MODEL clause")
+	}
+	if s.Delta <= 0 {
+		return fmt.Errorf("cql: missing or non-positive WITHIN clause (delta = %v)", s.Delta)
+	}
+	if s.F < 0 {
+		return fmt.Errorf("cql: negative SMOOTH factor %v", s.F)
+	}
+	if s.Selector == SelValue && len(s.Sources) != 1 {
+		return fmt.Errorf("cql: SELECT VALUE takes exactly one source, got %d", len(s.Sources))
+	}
+	if s.Over > 0 {
+		if s.Selector == SelValue {
+			return fmt.Errorf("cql: OVER requires an aggregate selector")
+		}
+		if len(s.Sources) != 1 {
+			return fmt.Errorf("cql: OVER windows one source over time, got %d sources", len(s.Sources))
+		}
+	}
+	return nil
+}
+
+func (s *Statement) deriveName() string {
+	return fmt.Sprintf("%s-%s", s.Selector, strings.Join(s.Sources, "-"))
+}
+
+// IsAggregate reports whether the statement is a multi-source aggregate
+// query (un-windowed aggregate selector).
+func (s *Statement) IsAggregate() bool { return s.Selector != SelValue && s.Over == 0 }
+
+// IsWindowed reports whether the statement is a time-windowed aggregate
+// over one source.
+func (s *Statement) IsWindowed() bool { return s.Over > 0 }
+
+// WindowQuery converts a windowed statement into the DSMS form.
+func (s *Statement) WindowQuery() (dsms.WindowQuery, error) {
+	if !s.IsWindowed() {
+		return dsms.WindowQuery{}, fmt.Errorf("cql: statement has no OVER clause")
+	}
+	return dsms.WindowQuery{
+		ID:       s.Name,
+		SourceID: s.Sources[0],
+		Func:     dsms.AggFunc(s.Selector),
+		N:        s.Over,
+		Delta:    s.Delta,
+		F:        s.F,
+		Model:    s.Model,
+	}, nil
+}
+
+// Query converts a VALUE statement into the DSMS query form.
+func (s *Statement) Query() (stream.Query, error) {
+	if s.Selector != SelValue {
+		return stream.Query{}, fmt.Errorf("cql: %s statement is an aggregate, not a value query", s.Selector)
+	}
+	return stream.Query{
+		ID:       s.Name,
+		SourceID: s.Sources[0],
+		Delta:    s.Delta,
+		F:        s.F,
+		Model:    s.Model,
+	}, nil
+}
+
+// AggregateQuery converts an aggregate statement into the DSMS form.
+func (s *Statement) AggregateQuery() (dsms.AggregateQuery, error) {
+	if !s.IsAggregate() {
+		return dsms.AggregateQuery{}, fmt.Errorf("cql: VALUE statement is not an aggregate")
+	}
+	return dsms.AggregateQuery{
+		ID:        s.Name,
+		SourceIDs: s.Sources,
+		Func:      dsms.AggFunc(s.Selector),
+		Delta:     s.Delta,
+		Model:     s.Model,
+		F:         s.F,
+	}, nil
+}
+
+// Install parses the statement and registers it with the server. It
+// returns the query name under which answers can be requested.
+func Install(server *dsms.Server, statement string) (name string, err error) {
+	st, err := Parse(statement)
+	if err != nil {
+		return "", err
+	}
+	if st.IsWindowed() {
+		q, err := st.WindowQuery()
+		if err != nil {
+			return "", err
+		}
+		return st.Name, server.RegisterWindow(q)
+	}
+	if st.IsAggregate() {
+		q, err := st.AggregateQuery()
+		if err != nil {
+			return "", err
+		}
+		return st.Name, server.RegisterAggregate(q)
+	}
+	q, err := st.Query()
+	if err != nil {
+		return "", err
+	}
+	return st.Name, server.Register(q)
+}

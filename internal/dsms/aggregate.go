@@ -1,0 +1,216 @@
+package dsms
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamkf/internal/stream"
+)
+
+// AggFunc is an aggregate over the current values of several sources.
+type AggFunc string
+
+// Supported aggregate functions.
+const (
+	AggAvg AggFunc = "avg"
+	AggSum AggFunc = "sum"
+	AggMin AggFunc = "min"
+	AggMax AggFunc = "max"
+)
+
+// AggregateQuery is a continuous aggregate over multiple single-attribute
+// sources, e.g. "the average zonal load across zones a, b, c within ±50".
+//
+// This is the paper's answer to COUGAR-style in-network aggregation
+// (Table 1) and its future-work item 4 (tuning parameters for multiple
+// queries): instead of shipping raw tuples to an in-network combiner, the
+// server aggregates its per-source *predictions*, and the aggregate's
+// precision constraint Δ is allocated down to per-source widths δ_i so
+// the composed error stays within Δ.
+type AggregateQuery struct {
+	// ID names the aggregate query.
+	ID string
+	// SourceIDs are the participating sources (at least one).
+	SourceIDs []string
+	// Func is the aggregate function.
+	Func AggFunc
+	// Delta is the aggregate precision constraint Δ.
+	Delta float64
+	// Model names the per-source stream model.
+	Model string
+	// F is the optional per-source smoothing factor.
+	F float64
+}
+
+// Validate checks the aggregate query.
+func (q AggregateQuery) Validate() error {
+	if q.ID == "" {
+		return fmt.Errorf("dsms: aggregate query ID is empty")
+	}
+	if len(q.SourceIDs) == 0 {
+		return fmt.Errorf("dsms: aggregate query %s has no sources", q.ID)
+	}
+	seen := make(map[string]bool, len(q.SourceIDs))
+	for _, id := range q.SourceIDs {
+		if id == "" {
+			return fmt.Errorf("dsms: aggregate query %s has an empty source id", q.ID)
+		}
+		if seen[id] {
+			return fmt.Errorf("dsms: aggregate query %s lists source %s twice", q.ID, id)
+		}
+		seen[id] = true
+	}
+	switch q.Func {
+	case AggAvg, AggSum, AggMin, AggMax:
+	default:
+		return fmt.Errorf("dsms: aggregate query %s has unknown function %q", q.ID, q.Func)
+	}
+	if q.Delta <= 0 {
+		return fmt.Errorf("dsms: aggregate query %s has non-positive delta %v", q.ID, q.Delta)
+	}
+	if q.F < 0 {
+		return fmt.Errorf("dsms: aggregate query %s has negative F %v", q.ID, q.F)
+	}
+	return nil
+}
+
+// PerSourceDelta returns the precision width δ_i allocated to each
+// source so the aggregate answer stays within Δ (assuming per-source
+// answers within ±δ_i):
+//
+//   - sum: errors add, so δ_i = Δ / t
+//   - avg: the mean of t errors each ≤ δ is ≤ δ, so δ_i = Δ
+//   - min/max: the extremum moves at most max_i δ_i, so δ_i = Δ
+func (q AggregateQuery) PerSourceDelta() float64 {
+	if q.Func == AggSum {
+		return q.Delta / float64(len(q.SourceIDs))
+	}
+	return q.Delta
+}
+
+// Evaluate applies the aggregate function to per-source values.
+func (q AggregateQuery) Evaluate(values []float64) float64 {
+	switch q.Func {
+	case AggSum:
+		var s float64
+		for _, v := range values {
+			s += v
+		}
+		return s
+	case AggAvg:
+		var s float64
+		for _, v := range values {
+			s += v
+		}
+		return s / float64(len(values))
+	case AggMin:
+		m := math.Inf(1)
+		for _, v := range values {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	default: // AggMax
+		m := math.Inf(-1)
+		for _, v := range values {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+}
+
+// RegisterAggregate installs an aggregate query: it registers one
+// implicit per-source continuous query with the allocated width δ_i, then
+// records the aggregate for answering. Like Register, it must run before
+// the sources start streaming.
+func (s *Server) RegisterAggregate(q AggregateQuery) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	if s.aggregate == nil {
+		s.aggregate = make(map[string]AggregateQuery)
+	}
+	if _, dup := s.aggregate[q.ID]; dup {
+		return fmt.Errorf("dsms: duplicate aggregate query id %s", q.ID)
+	}
+	delta := q.PerSourceDelta()
+	installed := make([]string, 0, len(q.SourceIDs))
+	for _, src := range q.SourceIDs {
+		sub := stream.Query{
+			ID:       q.ID + "/" + src,
+			SourceID: src,
+			Delta:    delta,
+			F:        q.F,
+			Model:    q.Model,
+		}
+		if err := s.Register(sub); err != nil {
+			// Roll back the sub-queries installed so far.
+			for _, id := range installed {
+				s.dropQuery(id)
+			}
+			return fmt.Errorf("dsms: aggregate %s: %w", q.ID, err)
+		}
+		installed = append(installed, sub.ID)
+	}
+	s.aggregate[q.ID] = q
+	return nil
+}
+
+// dropQuery removes a registered (not yet streaming) per-source query.
+func (s *Server) dropQuery(queryID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for srcID, st := range s.sources {
+		for i, q := range st.queries {
+			if q.ID == queryID {
+				st.queries = append(st.queries[:i], st.queries[i+1:]...)
+				if len(st.queries) == 0 {
+					delete(s.sources, srcID)
+				}
+				return
+			}
+		}
+	}
+}
+
+// AnswerAggregate evaluates the aggregate query at reading index seq:
+// every participating source's filter is advanced to seq and the
+// aggregate of the predictions is returned.
+func (s *Server) AnswerAggregate(queryID string, seq int) (float64, error) {
+	s.aggMu.Lock()
+	q, ok := s.aggregate[queryID]
+	s.aggMu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("dsms: unknown aggregate query %s", queryID)
+	}
+	values := make([]float64, 0, len(q.SourceIDs))
+	for _, src := range q.SourceIDs {
+		vals, err := s.Answer(q.ID+"/"+src, seq)
+		if err != nil {
+			return 0, err
+		}
+		if len(vals) != 1 {
+			return 0, fmt.Errorf("dsms: aggregate %s: source %s is not single-attribute", queryID, src)
+		}
+		values = append(values, vals[0])
+	}
+	return q.Evaluate(values), nil
+}
+
+// AggregateIDs returns the registered aggregate query ids, sorted.
+func (s *Server) AggregateIDs() []string {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	out := make([]string, 0, len(s.aggregate))
+	for id := range s.aggregate {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

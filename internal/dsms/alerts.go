@@ -1,0 +1,209 @@
+package dsms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// AlertDirection says which crossing fires an alert.
+type AlertDirection int
+
+const (
+	// AlertAbove fires when the value rises above the threshold.
+	AlertAbove AlertDirection = iota
+	// AlertBelow fires when the value falls below the threshold.
+	AlertBelow
+)
+
+// Alert is a continuous threshold predicate over a registered query
+// (value or aggregate): "tell me when the answer crosses T". Because the
+// server answers from its prediction, the alert reacts to every update
+// without the sources knowing the predicate exists — the same filters
+// serve both query shapes, the paper's "building block" argument.
+//
+// Hysteresis suppresses flapping: after firing, the alert re-arms only
+// once the value retreats past Threshold ∓ Hysteresis. Picking
+// Hysteresis ≥ the query's δ guarantees prediction error alone can never
+// re-fire an armed alert.
+type Alert struct {
+	// ID names the alert.
+	ID string
+	// QueryID is the registered (value or aggregate) query to watch.
+	// Value queries must be single-attribute.
+	QueryID string
+	// Threshold is the crossing level.
+	Threshold float64
+	// Direction selects which crossing fires.
+	Direction AlertDirection
+	// Hysteresis is the re-arm band width (>= 0).
+	Hysteresis float64
+}
+
+// Validate checks the alert definition.
+func (a Alert) Validate() error {
+	if a.ID == "" {
+		return fmt.Errorf("dsms: alert ID is empty")
+	}
+	if a.QueryID == "" {
+		return fmt.Errorf("dsms: alert %s has empty query id", a.ID)
+	}
+	if a.Direction != AlertAbove && a.Direction != AlertBelow {
+		return fmt.Errorf("dsms: alert %s has unknown direction %d", a.ID, a.Direction)
+	}
+	if a.Hysteresis < 0 {
+		return fmt.Errorf("dsms: alert %s has negative hysteresis %v", a.ID, a.Hysteresis)
+	}
+	return nil
+}
+
+// AlertEvent is delivered to the alert's callback when it fires.
+type AlertEvent struct {
+	AlertID string
+	QueryID string
+	Seq     int
+	Value   float64
+}
+
+// alertState tracks one registered alert.
+type alertState struct {
+	cfg   Alert
+	fn    func(AlertEvent)
+	fired bool
+}
+
+// alertBook is the server's alert registry.
+type alertBook struct {
+	mu     sync.Mutex
+	alerts map[string]*alertState
+	// bySource maps a source id to the alert ids that may be affected
+	// when that source updates.
+	bySource map[string][]string
+}
+
+// RegisterAlert installs a threshold alert over an existing query. The
+// callback runs synchronously on the update path; keep it short.
+func (s *Server) RegisterAlert(a Alert, fn func(AlertEvent)) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if fn == nil {
+		return fmt.Errorf("dsms: alert %s has nil callback", a.ID)
+	}
+	sources, err := s.querySources(a.QueryID)
+	if err != nil {
+		return err
+	}
+	s.alertMu.Lock()
+	defer s.alertMu.Unlock()
+	if s.alerts == nil {
+		s.alerts = make(map[string]*alertState)
+		s.alertsBySource = make(map[string][]string)
+	}
+	if _, dup := s.alerts[a.ID]; dup {
+		return fmt.Errorf("dsms: duplicate alert id %s", a.ID)
+	}
+	s.alerts[a.ID] = &alertState{cfg: a, fn: fn}
+	for _, src := range sources {
+		s.alertsBySource[src] = append(s.alertsBySource[src], a.ID)
+	}
+	return nil
+}
+
+// AlertIDs returns the registered alert ids, sorted.
+func (s *Server) AlertIDs() []string {
+	s.alertMu.Lock()
+	defer s.alertMu.Unlock()
+	out := make([]string, 0, len(s.alerts))
+	for id := range s.alerts {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// querySources resolves which sources feed a (value or aggregate) query.
+func (s *Server) querySources(queryID string) ([]string, error) {
+	s.aggMu.Lock()
+	if q, ok := s.aggregate[queryID]; ok {
+		s.aggMu.Unlock()
+		return q.SourceIDs, nil
+	}
+	s.aggMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for srcID, st := range s.sources {
+		for _, q := range st.queries {
+			if q.ID == queryID {
+				return []string{srcID}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("dsms: alert references unknown query %s", queryID)
+}
+
+// checkAlerts evaluates every alert touched by an update from sourceID
+// at the given sequence number. Called after HandleUpdate releases the
+// server lock.
+func (s *Server) checkAlerts(sourceID string, seq int) {
+	s.alertMu.Lock()
+	ids := append([]string(nil), s.alertsBySource[sourceID]...)
+	s.alertMu.Unlock()
+	for _, id := range ids {
+		s.evalAlert(id, seq)
+	}
+}
+
+func (s *Server) evalAlert(alertID string, seq int) {
+	s.alertMu.Lock()
+	st, ok := s.alerts[alertID]
+	s.alertMu.Unlock()
+	if !ok {
+		return
+	}
+	value, err := s.queryValue(st.cfg.QueryID, seq)
+	if err != nil {
+		return // sources not all streaming yet; nothing to evaluate
+	}
+
+	a := st.cfg
+	inZone := value > a.Threshold
+	if a.Direction == AlertBelow {
+		inZone = value < a.Threshold
+	}
+	rearm := a.Threshold - a.Hysteresis
+	if a.Direction == AlertBelow {
+		rearm = a.Threshold + a.Hysteresis
+	}
+
+	s.alertMu.Lock()
+	fire := false
+	switch {
+	case inZone && !st.fired:
+		st.fired = true
+		fire = true
+	case st.fired:
+		// Re-arm only once the value retreats past the hysteresis band.
+		if (a.Direction == AlertAbove && value < rearm) ||
+			(a.Direction == AlertBelow && value > rearm) {
+			st.fired = false
+		}
+	}
+	fn := st.fn
+	s.alertMu.Unlock()
+
+	if fire {
+		fn(AlertEvent{AlertID: a.ID, QueryID: a.QueryID, Seq: seq, Value: value})
+	}
+}
+
+// queryValue answers a value or aggregate query as a scalar.
+func (s *Server) queryValue(queryID string, seq int) (float64, error) {
+	if vals, err := s.Answer(queryID, seq); err == nil {
+		if len(vals) != 1 {
+			return 0, fmt.Errorf("dsms: alert query %s is not single-attribute", queryID)
+		}
+		return vals[0], nil
+	}
+	return s.AnswerAggregate(queryID, seq)
+}

@@ -1,0 +1,342 @@
+// Package dsms composes the DKF protocol into the end-to-end stream
+// management system the paper's Figure 1 sketches and its future-work
+// list calls for: a central server that accepts continuous queries with
+// precision constraints, installs a Kalman filter per remote source,
+// receives the (suppressed) update streams, and answers value queries
+// from its predictions; plus the source-side agent that runs the mirror
+// filter and decides what to transmit.
+//
+// Two transports are provided: direct in-process calls (deterministic,
+// used by tests and the experiment harness) and a gob-over-TCP wire
+// protocol (cmd/dkf-server and cmd/dkf-source).
+package dsms
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"streamkf/internal/core"
+	"streamkf/internal/model"
+	"streamkf/internal/stream"
+	"streamkf/internal/synopsis"
+)
+
+// Catalog resolves model names to stream models. The server and its
+// sources share a catalog, which is how "the target sensor activates a
+// mirror KF with the same parameters" without shipping matrices.
+type Catalog struct {
+	mu     sync.RWMutex
+	models map[string]model.Model
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{models: make(map[string]model.Model)}
+}
+
+// DefaultCatalog returns a catalog preloaded with the paper's models for
+// single-attribute streams sampled at interval dt, plus the 2-D tracking
+// models of Example 1: "constant", "linear", "acceleration", "jerk",
+// "constant2d", "linear2d". Q = R = 0.05 per the paper's experiments.
+func DefaultCatalog(dt float64) *Catalog {
+	c := NewCatalog()
+	const q, r = 0.05, 0.05
+	c.Register(model.Constant(1, q, r))
+	c.Register(model.Linear(1, dt, q, r))
+	c.Register(model.Acceleration(1, dt, q, r))
+	c.Register(model.Jerk(1, dt, q, r))
+	m2 := model.Constant(2, q, r)
+	m2.Name = "constant2d"
+	c.Register(m2)
+	l2 := model.Linear(2, dt, q, r)
+	l2.Name = "linear2d"
+	c.Register(l2)
+	return c
+}
+
+// Register adds (or replaces) a model under its Name.
+func (c *Catalog) Register(m model.Model) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.models[m.Name] = m
+}
+
+// Resolve returns the model registered under name.
+func (c *Catalog) Resolve(name string) (model.Model, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.models[name]
+	if !ok {
+		return model.Model{}, fmt.Errorf("dsms: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// Names returns the registered model names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.models))
+	for n := range c.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sourceState is the server's bookkeeping for one source object.
+type sourceState struct {
+	node    *core.ServerNode
+	cfg     core.Config
+	queries []stream.Query
+	updates int
+	bytes   int
+	history *synopsis.Store // optional historical-query recorder
+	times   timeMap         // seq-to-time mapping from update timestamps
+}
+
+// Server is the central DSMS node.
+type Server struct {
+	catalog *Catalog
+
+	mu      sync.Mutex
+	sources map[string]*sourceState
+
+	aggMu     sync.Mutex
+	aggregate map[string]AggregateQuery
+
+	alertMu        sync.Mutex
+	alerts         map[string]*alertState
+	alertsBySource map[string][]string
+
+	subMu        sync.Mutex
+	subs         map[int]*subscription
+	subNext      int
+	subsBySource map[string][]int
+
+	winMu   sync.Mutex
+	windows map[string]WindowQuery
+}
+
+// NewServer returns a server resolving models from catalog.
+func NewServer(catalog *Catalog) *Server {
+	return &Server{catalog: catalog, sources: make(map[string]*sourceState)}
+}
+
+// Register installs a continuous query. Multiple queries over the same
+// source share one filter pair under the paper's simplification: the
+// effective precision width at the source is the minimum Δ over its
+// queries (every query's constraint is then satisfied), and the smallest
+// requested smoothing factor wins. Registration must complete before the
+// source sends its bootstrap update; afterwards it fails, because
+// reinstalling a filter would desynchronize the mirror.
+func (s *Server) Register(q stream.Query) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	m, err := s.catalog.Resolve(q.Model)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sources[q.SourceID]
+	if st == nil {
+		st = &sourceState{}
+		s.sources[q.SourceID] = st
+	}
+	if st.node != nil {
+		return fmt.Errorf("dsms: source %s already streaming; cannot register %s", q.SourceID, q.ID)
+	}
+	for _, existing := range st.queries {
+		if existing.ID == q.ID {
+			return fmt.Errorf("dsms: duplicate query id %s", q.ID)
+		}
+	}
+	st.queries = append(st.queries, q)
+	cfg := core.Config{SourceID: q.SourceID, Model: m, Delta: q.Delta, F: q.F}
+	if len(st.queries) > 1 {
+		// Recompute the shared configuration. All queries must agree on
+		// the model — mixed models over one source would need separate
+		// filter pairs, which the paper excludes ("we do not have
+		// queries with overlapping sources").
+		if st.cfg.Model.Name != m.Name {
+			st.queries = st.queries[:len(st.queries)-1]
+			return fmt.Errorf("dsms: source %s already registered with model %s; query %s wants %s",
+				q.SourceID, st.cfg.Model.Name, q.ID, m.Name)
+		}
+		if q.Delta < st.cfg.Delta {
+			st.cfg.Delta = q.Delta
+		}
+		if q.F > 0 && (st.cfg.F == 0 || q.F < st.cfg.F) {
+			st.cfg.F = q.F
+		}
+		return nil
+	}
+	st.cfg = cfg
+	return nil
+}
+
+// InstallFor returns the filter configuration a connecting source agent
+// must run — the handshake payload. It errors when no query targets the
+// source.
+func (s *Server) InstallFor(sourceID string) (core.Config, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sources[sourceID]
+	if st == nil || len(st.queries) == 0 {
+		return core.Config{}, fmt.Errorf("dsms: no query registered for source %s", sourceID)
+	}
+	if st.node == nil {
+		node, err := core.NewServerNode(st.cfg)
+		if err != nil {
+			return core.Config{}, err
+		}
+		st.node = node
+	}
+	return st.cfg, nil
+}
+
+// HandleUpdate folds one transmitted update into the source's server
+// filter, then evaluates any alerts watching that source (outside the
+// server lock, since alert evaluation re-enters Answer).
+func (s *Server) HandleUpdate(u core.Update) error {
+	s.mu.Lock()
+	st := s.sources[u.SourceID]
+	if st == nil || st.node == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("dsms: update for uninstalled source %s", u.SourceID)
+	}
+	if err := st.node.ApplyUpdate(u); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if err := st.recordHistory(u.Seq, u.Values, u.Bootstrap); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("dsms: recording history for %s: %w", u.SourceID, err)
+	}
+	st.times.observe(u.Seq, u.Time)
+	st.updates++
+	st.bytes += u.WireBytes()
+	s.mu.Unlock()
+	s.checkAlerts(u.SourceID, u.Seq)
+	s.notifySubscribers(u.SourceID, u.Seq)
+	return nil
+}
+
+// Answer evaluates the named query at reading index seq: it advances the
+// source's filter prediction to seq and returns the predicted values.
+func (s *Server) Answer(queryID string, seq int) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.sources {
+		for _, q := range st.queries {
+			if q.ID != queryID {
+				continue
+			}
+			if st.node == nil {
+				return nil, fmt.Errorf("dsms: source %s not yet streaming", q.SourceID)
+			}
+			if seq > st.node.Seq() {
+				st.node.AdvanceTo(seq)
+			}
+			vals, ok := st.node.Estimate()
+			if !ok {
+				return nil, fmt.Errorf("dsms: source %s has no bootstrap yet", q.SourceID)
+			}
+			return vals, nil
+		}
+	}
+	return nil, fmt.Errorf("dsms: unknown query %s", queryID)
+}
+
+// SourceIDs returns the registered source ids, sorted.
+func (s *Server) SourceIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sources))
+	for id := range s.sources {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats reports per-source update counts and bytes received.
+type Stats struct {
+	SourceID string
+	Queries  int
+	Updates  int
+	Bytes    int
+	Seq      int
+}
+
+// Stats returns per-source statistics, sorted by source id.
+func (s *Server) Stats() []Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Stats, 0, len(s.sources))
+	for id, st := range s.sources {
+		stat := Stats{SourceID: id, Queries: len(st.queries), Updates: st.updates, Bytes: st.bytes}
+		if st.node != nil {
+			stat.Seq = st.node.Seq()
+		}
+		out = append(out, stat)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SourceID < out[j].SourceID })
+	return out
+}
+
+// Agent is the source-side runtime: it performs the install handshake,
+// runs the DKF source node over a reading stream, and ships updates
+// through a transport.
+type Agent struct {
+	sourceID string
+	node     *core.SourceNode
+	send     core.Transport
+}
+
+// NewAgent builds an agent for sourceID from an installed configuration
+// (obtained via Server.InstallFor or the TCP handshake) and a transport
+// for updates.
+func NewAgent(cfg core.Config, send core.Transport) (*Agent, error) {
+	if send == nil {
+		return nil, errors.New("dsms: nil transport")
+	}
+	node, err := core.NewSourceNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{sourceID: cfg.SourceID, node: node, send: send}, nil
+}
+
+// Offer processes one reading, transmitting if the protocol requires.
+// It returns whether an update was sent.
+func (a *Agent) Offer(r stream.Reading) (sent bool, err error) {
+	u, _, err := a.node.Process(r)
+	if err != nil {
+		return false, err
+	}
+	if u == nil {
+		return false, nil
+	}
+	return true, a.send.Send(*u)
+}
+
+// Run drives an entire source stream through the agent.
+func (a *Agent) Run(src stream.Source) error {
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if _, err := a.Offer(r); err != nil {
+			return err
+		}
+	}
+}
+
+// Stats exposes the underlying source node counters.
+func (a *Agent) Stats() core.SourceStats { return a.node.Stats() }

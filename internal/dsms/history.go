@@ -1,0 +1,115 @@
+package dsms
+
+import (
+	"fmt"
+
+	"streamkf/internal/stream"
+	"streamkf/internal/synopsis"
+)
+
+// EnableHistory turns on historical queries for a source: from then on,
+// every update the server receives is also recorded into a synopsis
+// store (the update log is exactly the information a synopsis needs), so
+// past answers can be replayed on demand. Storage grows with the number
+// of *updates*, not readings — the same compression the protocol already
+// bought on the wire.
+//
+// Must be called after the source's queries are registered and before it
+// starts streaming, so the bootstrap update is captured.
+func (s *Server) EnableHistory(sourceID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sources[sourceID]
+	if st == nil || len(st.queries) == 0 {
+		return fmt.Errorf("dsms: no query registered for source %s", sourceID)
+	}
+	if st.node != nil {
+		return fmt.Errorf("dsms: source %s already streaming; enable history before the bootstrap", sourceID)
+	}
+	if st.history != nil {
+		return fmt.Errorf("dsms: history already enabled for %s", sourceID)
+	}
+	store, err := synopsis.New(st.cfg.Model, st.cfg.Delta)
+	if err != nil {
+		return err
+	}
+	st.history = store
+	return nil
+}
+
+// recordHistory folds an update into the source's history store, if
+// enabled. Called with the server lock held.
+func (st *sourceState) recordHistory(seq int, values []float64, bootstrap bool) error {
+	if st.history == nil {
+		return nil
+	}
+	if bootstrap {
+		return st.history.RecordBootstrap(seq, values)
+	}
+	return st.history.RecordUpdate(seq, values)
+}
+
+// AnswerAt evaluates a value query at any past (or current) sequence
+// number by replaying the history store. Suppressed steps reproduce the
+// prediction the server answered live (within the query's δ of the
+// source value); update steps return the transmitted measurement
+// exactly.
+func (s *Server) AnswerAt(queryID string, seq int) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.sources {
+		for _, q := range st.queries {
+			if q.ID != queryID {
+				continue
+			}
+			if st.history == nil {
+				return nil, fmt.Errorf("dsms: history not enabled for source %s", q.SourceID)
+			}
+			// Sequence numbers beyond the last update are the same
+			// extrapolation the live node performs: extend the log's
+			// prediction out to the asked-for step.
+			if seq > st.history.LastSeq() {
+				if err := st.history.ExtendTo(seq); err != nil {
+					return nil, err
+				}
+			}
+			return st.history.At(seq)
+		}
+	}
+	return nil, fmt.Errorf("dsms: unknown query %s", queryID)
+}
+
+// HistoryRange replays the history store over [from, to] for the named
+// query.
+func (s *Server) HistoryRange(queryID string, from, to int) ([]stream.Reading, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.sources {
+		for _, q := range st.queries {
+			if q.ID != queryID {
+				continue
+			}
+			if st.history == nil {
+				return nil, fmt.Errorf("dsms: history not enabled for source %s", q.SourceID)
+			}
+			if to > st.history.LastSeq() {
+				if err := st.history.ExtendTo(to); err != nil {
+					return nil, err
+				}
+			}
+			return st.history.Range(from, to)
+		}
+	}
+	return nil, fmt.Errorf("dsms: unknown query %s", queryID)
+}
+
+// HistoryStats reports the history store's footprint for a source.
+func (s *Server) HistoryStats(sourceID string) (readings, corrections int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sources[sourceID]
+	if st == nil || st.history == nil {
+		return 0, 0, fmt.Errorf("dsms: history not enabled for source %s", sourceID)
+	}
+	return st.history.Len(), st.history.Corrections(), nil
+}

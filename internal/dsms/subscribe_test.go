@@ -1,0 +1,130 @@
+package dsms
+
+import (
+	"testing"
+
+	"streamkf/internal/stream"
+)
+
+func TestSubscribeUnknownQuery(t *testing.T) {
+	s := NewServer(testCatalog())
+	if _, _, err := s.Subscribe("ghost", 4); err == nil {
+		t.Fatal("subscribed to unknown query")
+	}
+}
+
+func TestSubscribeReceivesFreshAnswers(t *testing.T) {
+	s := NewServer(testCatalog())
+	mustRegister(t, s, stream.Query{ID: "q", SourceID: "src", Delta: 1, Model: "constant"})
+	ch, cancel, err := s.Subscribe("q", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	driveSource(t, s, "src", []float64{10, 50, 50, 50, 200})
+	var got []Notification
+	for {
+		select {
+		case n := <-ch:
+			got = append(got, n)
+			continue
+		default:
+		}
+		break
+	}
+	if len(got) < 2 {
+		t.Fatalf("received %d notifications, want several: %+v", len(got), got)
+	}
+	last := got[len(got)-1]
+	if last.QueryID != "q" || len(last.Values) != 1 {
+		t.Fatalf("notification shape wrong: %+v", last)
+	}
+	// Sequence numbers must be non-decreasing.
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq < got[i-1].Seq {
+			t.Fatalf("out-of-order notifications: %+v", got)
+		}
+	}
+}
+
+func TestSubscribeCancelClosesChannel(t *testing.T) {
+	s := NewServer(testCatalog())
+	mustRegister(t, s, stream.Query{ID: "q", SourceID: "src", Delta: 1, Model: "constant"})
+	ch, cancel, err := s.Subscribe("q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	cancel() // double-cancel must be safe
+	if _, open := <-ch; open {
+		t.Fatal("channel still open after cancel")
+	}
+	// Updates after cancel must not panic.
+	driveSource(t, s, "src", []float64{1, 100})
+}
+
+func TestSubscribeSlowReaderDropsStale(t *testing.T) {
+	s := NewServer(testCatalog())
+	mustRegister(t, s, stream.Query{ID: "q", SourceID: "src", Delta: 0.001, Model: "constant"})
+	ch, cancel, err := s.Subscribe("q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	// Every reading transmits (tiny delta); the buffer holds 1, so the
+	// subscriber must end up with a recent notification, not a deadlock.
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = float64(i * 10)
+	}
+	driveSource(t, s, "src", vals)
+	var last Notification
+	n := 0
+	for {
+		select {
+		case got := <-ch:
+			last, n = got, n+1
+			continue
+		default:
+		}
+		break
+	}
+	if n == 0 {
+		t.Fatal("no notification delivered")
+	}
+	if last.Seq < 40 {
+		t.Fatalf("stale notification retained: seq %d", last.Seq)
+	}
+}
+
+func TestSubscribeAggregate(t *testing.T) {
+	s := NewServer(testCatalog())
+	agg := AggregateQuery{ID: "mean", SourceIDs: []string{"a", "b"}, Func: AggAvg, Delta: 2, Model: "constant"}
+	if err := s.RegisterAggregate(agg); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := s.Subscribe("mean", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	driveSource(t, s, "a", []float64{10, 10, 10})
+	driveSource(t, s, "b", []float64{30, 30, 30})
+	var last *Notification
+	for {
+		select {
+		case n := <-ch:
+			last = &n
+			continue
+		default:
+		}
+		break
+	}
+	if last == nil {
+		t.Fatal("no aggregate notifications")
+	}
+	if len(last.Values) != 1 || last.Values[0] < 10 || last.Values[0] > 30 {
+		t.Fatalf("aggregate notification value %v", last.Values)
+	}
+}

@@ -1,0 +1,291 @@
+package dsms
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"encoding/gob"
+
+	"streamkf/internal/core"
+	"streamkf/internal/stream"
+)
+
+// The wire protocol is a stream of gob-encoded envelopes per connection.
+// A source connection performs hello → install, then ships update
+// messages, each acknowledged. A query client sends query messages and
+// receives answers. Any server-side failure is reported as an errmsg
+// envelope and closes nothing — the client decides.
+const (
+	msgHello   = "hello"
+	msgInstall = "install"
+	msgUpdate  = "update"
+	msgAck     = "ack"
+	msgQuery   = "query"
+	msgAnswer  = "answer"
+	msgError   = "error"
+)
+
+// envelope is the single on-wire message shape. Only the fields relevant
+// to Type are populated.
+type envelope struct {
+	Type      string
+	SourceID  string
+	ModelName string
+	Delta     float64
+	F         float64
+	Update    *core.Update
+	QueryID   string
+	Seq       int
+	Values    []float64
+	Err       string
+}
+
+// TCPServer exposes a Server over gob/TCP.
+type TCPServer struct {
+	server  *Server
+	ln      net.Listener
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	serveWG sync.WaitGroup
+}
+
+// NewTCPServer wraps server with a listener on addr (e.g.
+// "127.0.0.1:0"). Call Serve to start accepting and Close to stop.
+func NewTCPServer(server *Server, addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dsms: listen: %w", err)
+	}
+	return &TCPServer{server: server, ln: ln, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Addr returns the bound listener address.
+func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
+
+// Serve accepts and handles connections until Close is called. It
+// returns nil on graceful shutdown.
+func (t *TCPServer) Serve() error {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				t.serveWG.Wait()
+				return nil
+			}
+			return fmt.Errorf("dsms: accept: %w", err)
+		}
+		t.mu.Lock()
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.serveWG.Add(1)
+		go func() {
+			defer t.serveWG.Done()
+			t.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and closes every open connection.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	return t.ln.Close()
+}
+
+func (t *TCPServer) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var in envelope
+		if err := dec.Decode(&in); err != nil {
+			return // EOF or broken connection: drop it
+		}
+		var out envelope
+		switch in.Type {
+		case msgHello:
+			cfg, err := t.server.InstallFor(in.SourceID)
+			if err != nil {
+				out = envelope{Type: msgError, Err: err.Error()}
+			} else {
+				out = envelope{Type: msgInstall, SourceID: cfg.SourceID, ModelName: cfg.Model.Name, Delta: cfg.Delta, F: cfg.F}
+			}
+		case msgUpdate:
+			if in.Update == nil {
+				out = envelope{Type: msgError, Err: "dsms: update envelope without payload"}
+				break
+			}
+			if err := t.server.HandleUpdate(*in.Update); err != nil {
+				out = envelope{Type: msgError, Err: err.Error()}
+			} else {
+				out = envelope{Type: msgAck, Seq: in.Update.Seq}
+			}
+		case msgQuery:
+			vals, err := t.server.Answer(in.QueryID, in.Seq)
+			if err != nil {
+				// The id may name an aggregate or windowed query instead.
+				if v, aggErr := t.server.AnswerAggregate(in.QueryID, in.Seq); aggErr == nil {
+					out = envelope{Type: msgAnswer, QueryID: in.QueryID, Values: []float64{v}}
+					break
+				}
+				if v, winErr := t.server.AnswerWindow(in.QueryID, in.Seq); winErr == nil {
+					out = envelope{Type: msgAnswer, QueryID: in.QueryID, Values: []float64{v}}
+					break
+				}
+				out = envelope{Type: msgError, Err: err.Error()}
+			} else {
+				out = envelope{Type: msgAnswer, QueryID: in.QueryID, Values: vals}
+			}
+		default:
+			out = envelope{Type: msgError, Err: fmt.Sprintf("dsms: unknown message type %q", in.Type)}
+		}
+		if err := enc.Encode(out); err != nil {
+			return
+		}
+	}
+}
+
+// RemoteAgent is a source agent connected to a TCPServer. It performs
+// the install handshake on dial and ships updates synchronously,
+// requiring an ack per update.
+type RemoteAgent struct {
+	agent *Agent
+	conn  net.Conn
+	mu    sync.Mutex
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+}
+
+// DialSource connects sourceID to the server at addr, resolving the
+// installed model from catalog — the agent and server must share
+// catalog contents by name.
+func DialSource(addr, sourceID string, catalog *Catalog) (*RemoteAgent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dsms: dial: %w", err)
+	}
+	ra := &RemoteAgent{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	resp, err := ra.roundTrip(envelope{Type: msgHello, SourceID: sourceID})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.Type != msgInstall {
+		conn.Close()
+		return nil, fmt.Errorf("dsms: unexpected handshake reply %q", resp.Type)
+	}
+	m, err := catalog.Resolve(resp.ModelName)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	cfg := core.Config{SourceID: sourceID, Model: m, Delta: resp.Delta, F: resp.F}
+	agent, err := NewAgent(cfg, core.TransportFunc(ra.sendUpdate))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ra.agent = agent
+	return ra, nil
+}
+
+func (r *RemoteAgent) roundTrip(out envelope) (envelope, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(out); err != nil {
+		return envelope{}, fmt.Errorf("dsms: send: %w", err)
+	}
+	var in envelope
+	if err := r.dec.Decode(&in); err != nil {
+		if errors.Is(err, io.EOF) {
+			return envelope{}, errors.New("dsms: server closed connection")
+		}
+		return envelope{}, fmt.Errorf("dsms: receive: %w", err)
+	}
+	if in.Type == msgError {
+		return envelope{}, fmt.Errorf("dsms: server error: %s", in.Err)
+	}
+	return in, nil
+}
+
+func (r *RemoteAgent) sendUpdate(u core.Update) error {
+	resp, err := r.roundTrip(envelope{Type: msgUpdate, Update: &u})
+	if err != nil {
+		return err
+	}
+	if resp.Type != msgAck {
+		return fmt.Errorf("dsms: expected ack, got %q", resp.Type)
+	}
+	return nil
+}
+
+// Offer processes one reading through the DKF source node, transmitting
+// if required. It returns whether an update was sent.
+func (r *RemoteAgent) Offer(reading stream.Reading) (bool, error) {
+	return r.agent.Offer(reading)
+}
+
+// Run drives an entire source stream.
+func (r *RemoteAgent) Run(src stream.Source) error { return r.agent.Run(src) }
+
+// Stats exposes the source node counters.
+func (r *RemoteAgent) Stats() core.SourceStats { return r.agent.Stats() }
+
+// Close tears down the connection.
+func (r *RemoteAgent) Close() error { return r.conn.Close() }
+
+// QueryClient asks a TCPServer for current query answers.
+type QueryClient struct {
+	conn net.Conn
+	mu   sync.Mutex
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// DialQuery connects a query client to the server at addr.
+func DialQuery(addr string) (*QueryClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dsms: dial: %w", err)
+	}
+	return &QueryClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Ask evaluates queryID at reading index seq.
+func (q *QueryClient) Ask(queryID string, seq int) ([]float64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.enc.Encode(envelope{Type: msgQuery, QueryID: queryID, Seq: seq}); err != nil {
+		return nil, fmt.Errorf("dsms: send: %w", err)
+	}
+	var in envelope
+	if err := q.dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("dsms: receive: %w", err)
+	}
+	if in.Type == msgError {
+		return nil, fmt.Errorf("dsms: server error: %s", in.Err)
+	}
+	if in.Type != msgAnswer {
+		return nil, fmt.Errorf("dsms: expected answer, got %q", in.Type)
+	}
+	return in.Values, nil
+}
+
+// Close tears down the connection.
+func (q *QueryClient) Close() error { return q.conn.Close() }

@@ -1,0 +1,111 @@
+package dsms
+
+import (
+	"fmt"
+	"math"
+)
+
+// timeMap tracks the seq↔time correspondence a source's updates reveal:
+// the bootstrap anchors the line and every update refines the sampling
+// rate estimate. Between (and beyond) updates the mapping interpolates
+// linearly, which is exact for the fixed-rate sampling the paper
+// assumes.
+type timeMap struct {
+	bootSeq  int
+	bootTime float64
+	lastSeq  int
+	lastTime float64
+	anchored bool
+}
+
+// observe records an update's (seq, time) pair.
+func (t *timeMap) observe(seq int, tim float64) {
+	if !t.anchored {
+		t.bootSeq, t.bootTime = seq, tim
+		t.lastSeq, t.lastTime = seq, tim
+		t.anchored = true
+		return
+	}
+	if seq > t.lastSeq {
+		t.lastSeq, t.lastTime = seq, tim
+	}
+}
+
+// rate returns the estimated seconds per reading, or ok=false before two
+// distinct anchors exist.
+func (t *timeMap) rate() (float64, bool) {
+	if !t.anchored || t.lastSeq == t.bootSeq {
+		return 0, false
+	}
+	dt := (t.lastTime - t.bootTime) / float64(t.lastSeq-t.bootSeq)
+	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return 0, false
+	}
+	return dt, true
+}
+
+// seqFor maps a timestamp to the nearest reading index.
+func (t *timeMap) seqFor(tim float64) (int, error) {
+	dt, ok := t.rate()
+	if !ok {
+		return 0, fmt.Errorf("dsms: time mapping needs at least two updates at distinct steps")
+	}
+	seq := t.bootSeq + int(math.Round((tim-t.bootTime)/dt))
+	if seq < t.bootSeq {
+		return 0, fmt.Errorf("dsms: time %v precedes the stream start (%v)", tim, t.bootTime)
+	}
+	return seq, nil
+}
+
+// SeqForTime maps a wall-clock timestamp to the source's reading index,
+// using the sampling rate inferred from its updates.
+func (s *Server) SeqForTime(sourceID string, tim float64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sources[sourceID]
+	if st == nil {
+		return 0, fmt.Errorf("dsms: unknown source %s", sourceID)
+	}
+	return st.times.seqFor(tim)
+}
+
+// AnswerAtTime evaluates a value query at a wall-clock timestamp: the
+// timestamp maps to a reading index through the source's inferred
+// sampling rate, then resolves like Answer (current/future) — and like
+// AnswerAt when history is enabled and the timestamp is in the past.
+func (s *Server) AnswerAtTime(queryID string, tim float64) ([]float64, error) {
+	s.mu.Lock()
+	var sourceID string
+	var st *sourceState
+	for _, candidate := range s.sources {
+		for _, q := range candidate.queries {
+			if q.ID == queryID {
+				sourceID = q.SourceID
+				st = candidate
+			}
+		}
+	}
+	if st == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("dsms: unknown query %s", queryID)
+	}
+	seq, err := st.times.seqFor(tim)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("dsms: source %s: %w", sourceID, err)
+	}
+
+	// Past timestamps need the history store; the present and future
+	// resolve from the live prediction.
+	s.mu.Lock()
+	nodeSeq := 0
+	if st.node != nil {
+		nodeSeq = st.node.Seq()
+	}
+	hasHistory := st.history != nil
+	s.mu.Unlock()
+	if seq < nodeSeq && hasHistory {
+		return s.AnswerAt(queryID, seq)
+	}
+	return s.Answer(queryID, seq)
+}

@@ -1,0 +1,152 @@
+package dsms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"streamkf/internal/stream"
+	"streamkf/internal/window"
+)
+
+// WindowQuery is a time-windowed aggregate over one source: "the average
+// answer over the last N readings" (e.g. mean load over the last 24
+// hourly samples). It is evaluated by replaying the history synopsis over
+// the trailing window, so it needs no extra state on the update path and
+// no extra transmissions from the source.
+type WindowQuery struct {
+	// ID names the windowed query.
+	ID string
+	// SourceID is the target source object.
+	SourceID string
+	// Func is the aggregate applied over the window.
+	Func AggFunc
+	// N is the window length in readings.
+	N int
+	// Delta is the per-reading precision width of the underlying value
+	// query; each replayed point is within Delta of the source value, so
+	// avg/min/max inherit the same bound (sum inherits N·Delta).
+	Delta float64
+	// F is the optional smoothing factor.
+	F float64
+	// Model names the stream model.
+	Model string
+}
+
+// Validate checks the windowed query.
+func (q WindowQuery) Validate() error {
+	if q.ID == "" {
+		return fmt.Errorf("dsms: window query ID is empty")
+	}
+	if q.SourceID == "" {
+		return fmt.Errorf("dsms: window query %s has empty source", q.ID)
+	}
+	switch q.Func {
+	case AggAvg, AggSum, AggMin, AggMax:
+	default:
+		return fmt.Errorf("dsms: window query %s has unknown function %q", q.ID, q.Func)
+	}
+	if q.N < 1 {
+		return fmt.Errorf("dsms: window query %s has window %d, want >= 1", q.ID, q.N)
+	}
+	if q.Delta <= 0 {
+		return fmt.Errorf("dsms: window query %s has non-positive delta %v", q.ID, q.Delta)
+	}
+	if q.F < 0 {
+		return fmt.Errorf("dsms: window query %s has negative F %v", q.ID, q.F)
+	}
+	return nil
+}
+
+// baseQueryID names the implicit per-reading value query under a
+// windowed query.
+func (q WindowQuery) baseQueryID() string { return q.ID + "/base" }
+
+// RegisterWindow installs a windowed query: it registers the underlying
+// per-reading value query, enables history on the source (the window is
+// evaluated by replay), and records the window parameters. Like other
+// registrations it must precede the source's first transmission.
+func (s *Server) RegisterWindow(q WindowQuery) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	if s.windows == nil {
+		s.windows = make(map[string]WindowQuery)
+	}
+	if _, dup := s.windows[q.ID]; dup {
+		return fmt.Errorf("dsms: duplicate window query id %s", q.ID)
+	}
+	base := stream.Query{
+		ID:       q.baseQueryID(),
+		SourceID: q.SourceID,
+		Delta:    q.Delta,
+		F:        q.F,
+		Model:    q.Model,
+	}
+	if err := s.Register(base); err != nil {
+		return fmt.Errorf("dsms: window query %s: %w", q.ID, err)
+	}
+	if err := s.EnableHistory(q.SourceID); err != nil {
+		// History may already be enabled for this source; that is fine.
+		if !historyAlreadyEnabled(err) {
+			s.dropQuery(base.ID)
+			return fmt.Errorf("dsms: window query %s: %w", q.ID, err)
+		}
+	}
+	s.windows[q.ID] = q
+	return nil
+}
+
+func historyAlreadyEnabled(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "history already enabled")
+}
+
+// AnswerWindow evaluates the windowed query ending at reading index seq:
+// the trailing N answers are replayed from history and aggregated. The
+// window is clamped at the stream start.
+func (s *Server) AnswerWindow(queryID string, seq int) (float64, error) {
+	s.winMu.Lock()
+	q, ok := s.windows[queryID]
+	s.winMu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("dsms: unknown window query %s", queryID)
+	}
+	from := seq - q.N + 1
+	// Clamp at the history's first sequence.
+	s.mu.Lock()
+	st := s.sources[q.SourceID]
+	if st == nil || st.history == nil || st.history.Len() == 0 {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("dsms: window query %s: source %s has no history yet", queryID, q.SourceID)
+	}
+	if first := st.history.FirstSeq(); from < first {
+		from = first
+	}
+	s.mu.Unlock()
+	rec, err := s.HistoryRange(q.baseQueryID(), from, seq)
+	if err != nil {
+		return 0, err
+	}
+	vals := make([]float64, len(rec))
+	for i, r := range rec {
+		if len(r.Values) != 1 {
+			return 0, fmt.Errorf("dsms: window query %s: source is not single-attribute", queryID)
+		}
+		vals[i] = r.Values[0]
+	}
+	return window.Apply(string(q.Func), vals)
+}
+
+// WindowIDs returns the registered windowed query ids, sorted.
+func (s *Server) WindowIDs() []string {
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	out := make([]string, 0, len(s.windows))
+	for id := range s.windows {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"streamkf/internal/baseline"
+	"streamkf/internal/gen"
+	"streamkf/internal/mat"
+	"streamkf/internal/metrics"
+	"streamkf/internal/model"
+	"streamkf/internal/stream"
+)
+
+// Example3Deltas is the precision sweep for the network-monitoring
+// experiment (Figure 11).
+var Example3Deltas = []float64{2, 5, 10, 20, 40, 80}
+
+// Example3Fs is the smoothing-factor sweep for Figures 10 and 12.
+var Example3Fs = []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+
+// Example3F is the fixed smoothing factor for the Figure 11 sweep,
+// matching the paper (F = 1e-7).
+const Example3F = 1e-7
+
+// Example3MAWindow is the moving-average window the Figure 10 comparison
+// uses.
+const Example3MAWindow = 20
+
+// example3Data returns the synthetic stand-in for the paper's DEC HTTP
+// traffic dataset: noise-dominated counts with occasional bursts.
+func example3Data() []stream.Reading {
+	return gen.HTTPTraffic(gen.DefaultHTTPTraffic())
+}
+
+// Fig10Sweep quantifies the adherence of the KFc-smoothed stream to the
+// moving average (the paper's visual Figure 10): for each F it reports
+// the RMS distance between the KF-smoothed series and (a) the
+// moving-average series and (b) the raw data. Small F must track the
+// moving average; large F must track the raw data.
+func Fig10Sweep(fs []float64) (*metrics.Sweep, error) {
+	data := example3Data()
+	raw := stream.Values(data, 0)
+	ma, err := baseline.NewMovingAverage(Example3MAWindow)
+	if err != nil {
+		return nil, err
+	}
+	maVals := ma.Smooth(raw)
+	out := metrics.NewSweep("fig10", "Example 3: KF smoothing vs moving average", "smoothing factor F", "RMS distance", fs)
+	for _, f := range fs {
+		sm, err := smoothSeries(raw, f)
+		if err != nil {
+			return nil, fmt.Errorf("F=%v: %w", f, err)
+		}
+		out.Add("RMS(KF, moving average)", rms(sm, maVals))
+		out.Add("RMS(KF, raw data)", rms(sm, raw))
+	}
+	return out, nil
+}
+
+// smoothSeries runs the one-state smoothing filter KFc over a series.
+func smoothSeries(vals []float64, f float64) ([]float64, error) {
+	m := model.Smoothing(f, 1)
+	flt, err := m.NewFilter(vals[:1])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vals))
+	out[0] = vals[0]
+	for i := 1; i < len(vals); i++ {
+		flt.Predict()
+		if err := flt.Correct(vecOf(vals[i])); err != nil {
+			return nil, err
+		}
+		out[i] = flt.PredictedMeasurement().At(0, 0)
+	}
+	return out, nil
+}
+
+// Fig11Sweep runs DKF on the smoothed traffic stream at F = 1e-7 across
+// precision widths, for the constant and linear models, with the caching
+// baseline on the raw stream for reference.
+func Fig11Sweep(deltas []float64) (*metrics.Sweep, error) {
+	data := example3Data()
+	out := metrics.NewSweep("fig11", "Example 3: DKF on smoothed data, F = 1e-7", "precision width", "% updates", deltas)
+	for _, d := range deltas {
+		cm, err := runCache(d, 1, data)
+		if err != nil {
+			return nil, fmt.Errorf("caching at δ=%v: %w", d, err)
+		}
+		km, err := runDKF("http", model.Constant(1, 0.05, 0.05), d, Example3F, data)
+		if err != nil {
+			return nil, fmt.Errorf("constant KF at δ=%v: %w", d, err)
+		}
+		lm, err := runDKF("http", model.Linear(1, 1, 0.05, 0.05), d, Example3F, data)
+		if err != nil {
+			return nil, fmt.Errorf("linear KF at δ=%v: %w", d, err)
+		}
+		out.Add("caching (raw)", cm.PercentUpdates())
+		out.Add("constant KF", km.PercentUpdates())
+		out.Add("linear KF", lm.PercentUpdates())
+	}
+	return out, nil
+}
+
+// Fig12Sweep fixes δ = 10 and sweeps the smoothing factor F, reporting
+// the update percentage for the constant and linear models. Lowering F
+// must lower the update rate monotonically.
+func Fig12Sweep(fs []float64) (*metrics.Sweep, error) {
+	data := example3Data()
+	const delta = 10
+	out := metrics.NewSweep("fig12", "Example 3: DKF performance vs smoothing factor, δ = 10", "smoothing factor F", "% updates", fs)
+	for _, f := range fs {
+		km, err := runDKF("http", model.Constant(1, 0.05, 0.05), delta, f, data)
+		if err != nil {
+			return nil, fmt.Errorf("constant KF at F=%v: %w", f, err)
+		}
+		lm, err := runDKF("http", model.Linear(1, 1, 0.05, 0.05), delta, f, data)
+		if err != nil {
+			return nil, fmt.Errorf("linear KF at F=%v: %w", f, err)
+		}
+		out.Add("constant KF", km.PercentUpdates())
+		out.Add("linear KF", lm.PercentUpdates())
+	}
+	return out, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:       "fig9",
+		Title:    "Network monitoring dataset (Example 3)",
+		Expected: "noise-dominated packet counts with no visible trend and occasional bursts",
+		Run: func() (Renderable, error) {
+			data := example3Data()
+			vals := stream.Values(data, 0)
+			s := metrics.NewSummary("fig9", "HTTP traffic dataset statistics")
+			s.Add("points", len(data))
+			mean, sd := meanStd(vals)
+			s.Add("mean packets/bucket", mean)
+			s.Add("std dev", sd)
+			s.Add("max", maxOf(vals))
+			s.Add("lag-1 autocorrelation", autocorr(vals, 1))
+			return s, nil
+		},
+	})
+	register(Experiment{
+		ID:       "fig10",
+		Title:    "Example 3: KF smoothing against the moving-average approach",
+		Expected: "with F = 1e-9 the smoothed values match the moving average; large F tracks the raw data instead",
+		Run:      func() (Renderable, error) { return Fig10Sweep(Example3Fs) },
+	})
+	register(Experiment{
+		ID:       "fig11",
+		Title:    "Example 3: performance of DKF on smoothed data with F = 1e-7",
+		Expected: "after smoothing, the linear KF yields the fewest updates; both KF models beat raw caching",
+		Run:      func() (Renderable, error) { return Fig11Sweep(Example3Deltas) },
+	})
+	register(Experiment{
+		ID:       "fig12",
+		Title:    "Example 3: performance of DKF for precision width δ = 10 vs F",
+		Expected: "% updates decreases monotonically as F decreases",
+		Run:      func() (Renderable, error) { return Fig12Sweep(Example3Fs) },
+	})
+}
+
+func rms(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+func vecOf(v float64) *mat.Matrix { return mat.Vec(v) }

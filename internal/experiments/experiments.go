@@ -1,0 +1,97 @@
+// Package experiments regenerates every table and figure from the
+// paper's evaluation (§5). Each experiment is a named, self-contained
+// runner producing either a parameter Sweep (the figure's curves) or a
+// Summary (dataset statistics / qualitative table), rendered by
+// cmd/dkf-bench and exercised by the root bench suite.
+//
+// Absolute numbers differ from the paper (regenerated datasets, Go
+// instead of JDK 1.2.4, no physical LAN), but each runner's doc comment
+// states the shape that must hold; EXPERIMENTS.md records paper-expected
+// versus measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Renderable is implemented by metrics.Sweep and metrics.Summary.
+type Renderable interface {
+	// Table renders the result as an aligned ASCII table.
+	Table() string
+}
+
+// Experiment couples an identifier from DESIGN.md's per-experiment index
+// with its runner.
+type Experiment struct {
+	// ID is the experiment identifier, e.g. "fig4".
+	ID string
+	// Title is the human-readable caption.
+	Title string
+	// Expected states the paper's qualitative result — the shape the
+	// reproduction must match.
+	Expected string
+	// Run executes the experiment.
+	Run func() (Renderable, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment sorted by id, figures first in
+// numeric order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessID(out[i].ID, out[j].ID) })
+	return out
+}
+
+// IDs returns the registered experiment ids in presentation order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// lessID orders figN numerically, then everything else alphabetically
+// after the figures.
+func lessID(a, b string) bool {
+	na, oka := figNum(a)
+	nb, okb := figNum(b)
+	switch {
+	case oka && okb:
+		return na < nb
+	case oka:
+		return true
+	case okb:
+		return false
+	default:
+		return a < b
+	}
+}
+
+func figNum(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"streamkf/internal/metrics"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "adapt", "energy", "imm", "lifetime", "lossy", "nonlinear", "sampling", "shipall", "synopsis", "table1"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments %v, want %d", len(ids), ids, len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	for _, id := range want {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("Get(%q) missing", id)
+		}
+		if e.Title == "" || e.Expected == "" || e.Run == nil {
+			t.Fatalf("experiment %s incompletely registered: %+v", id, e)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("Get on unknown id returned ok")
+	}
+}
+
+func TestAllExperimentsRunAndRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			tbl := r.Table()
+			if !strings.Contains(tbl, e.ID) {
+				t.Fatalf("%s table missing id header:\n%s", e.ID, tbl)
+			}
+			if sw, ok := r.(*metrics.Sweep); ok {
+				if err := sw.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestFig4Shape verifies the paper's headline result: at a moderate
+// precision width the linear KF model sends far fewer updates than both
+// the caching scheme and the constant KF model, which behave alike; the
+// advantage shrinks as the precision width grows.
+func TestFig4Shape(t *testing.T) {
+	updates, _, err := Example1Sweeps([]float64{3, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache3 := updates.Series["caching"][0]
+	const3 := updates.Series["constant KF"][0]
+	lin3 := updates.Series["linear KF"][0]
+	if lin3 > 0.5*cache3 {
+		t.Fatalf("at δ=3 linear KF sent %.1f%%, caching %.1f%%: want at least 2x reduction", lin3, cache3)
+	}
+	if ratio := const3 / cache3; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("constant KF (%.1f%%) not comparable to caching (%.1f%%)", const3, cache3)
+	}
+	// All three converge downwards as delta grows.
+	for _, name := range []string{"caching", "constant KF", "linear KF"} {
+		lo, hi := updates.Series[name][1], updates.Series[name][0]
+		if lo > hi {
+			t.Fatalf("%s updates grew with delta: %.1f%% -> %.1f%%", name, hi, lo)
+		}
+	}
+}
+
+// TestFig5Shape verifies the error behaviour: the constant KF tracks the
+// caching scheme's average error within a small factor.
+func TestFig5Shape(t *testing.T) {
+	_, avgErr, err := Example1Sweeps([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := avgErr.Series["caching"][0]
+	k := avgErr.Series["constant KF"][0]
+	if k > 3*c || c > 3*k {
+		t.Fatalf("constant KF error %.2f vs caching %.2f: not comparable", k, c)
+	}
+}
+
+// TestFig7Shape verifies Example 2: the matched sinusoidal model sends
+// no more updates than the linear model, which sends no more than
+// caching.
+func TestFig7Shape(t *testing.T) {
+	updates, _, err := Example2Sweeps([]float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := updates.Series["caching"][0]
+	l := updates.Series["linear KF"][0]
+	s := updates.Series["sinusoidal KF"][0]
+	if s > l {
+		t.Fatalf("sinusoidal KF (%.1f%%) worse than linear (%.1f%%)", s, l)
+	}
+	if l > c {
+		t.Fatalf("linear KF (%.1f%%) worse than caching (%.1f%%)", l, c)
+	}
+}
+
+// TestFig10Shape verifies the smoothing adherence claim: at F = 1e-9 the
+// KF-smoothed series is far closer to the moving average than to the raw
+// data; at F = 1e-1 the opposite holds.
+func TestFig10Shape(t *testing.T) {
+	sw, err := Fig10Sweep([]float64{1e-9, 1e2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maLow := sw.Series["RMS(KF, moving average)"][0]
+	rawLow := sw.Series["RMS(KF, raw data)"][0]
+	if maLow >= rawLow {
+		t.Fatalf("at F=1e-9 KF should hug the moving average: RMS(ma)=%.2f RMS(raw)=%.2f", maLow, rawLow)
+	}
+	maHigh := sw.Series["RMS(KF, moving average)"][1]
+	rawHigh := sw.Series["RMS(KF, raw data)"][1]
+	if rawHigh >= maHigh {
+		t.Fatalf("at F=100 KF should hug the raw data: RMS(ma)=%.2f RMS(raw)=%.2f", maHigh, rawHigh)
+	}
+}
+
+// TestFig12Shape verifies monotonicity of updates in F for the constant
+// model.
+func TestFig12Shape(t *testing.T) {
+	fs := []float64{1e-9, 1e-6, 1e-3, 1e-1}
+	sw, err := Fig12Sweep(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := sw.Series["constant KF"]
+	for i := 1; i < len(series); i++ {
+		if series[i] < series[i-1]-1e-9 {
+			t.Fatalf("updates not monotone in F: %v", series)
+		}
+	}
+}
+
+// TestTable1Shape verifies the quantified Table 1 demos.
+func TestTable1Shape(t *testing.T) {
+	s, err := Table1Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]string{}
+	for _, r := range s.Rows() {
+		rows[r[0]] = r[1]
+	}
+	if len(rows) < 10 {
+		t.Fatalf("table1 rows = %d, want >= 10", len(rows))
+	}
+	for _, key := range []string{"[trend] DKF reduction factor", "[shedding] error ratio (sampler/DKF)"} {
+		if _, ok := rows[key]; !ok {
+			t.Fatalf("missing row %q", key)
+		}
+	}
+}
+
+// TestEnergyShape verifies the energy model yields positive savings in
+// the paper's regime.
+func TestEnergyShape(t *testing.T) {
+	s, err := EnergySummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, r := range s.Rows() {
+		if r[0] == "energy savings" {
+			found = true
+			if strings.HasPrefix(r[1], "-") {
+				t.Fatalf("energy savings negative: %s", r[1])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("missing energy savings row")
+	}
+}

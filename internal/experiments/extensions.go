@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"streamkf/internal/adapt"
+	"streamkf/internal/core"
+	"streamkf/internal/gen"
+	"streamkf/internal/metrics"
+	"streamkf/internal/model"
+	"streamkf/internal/stream"
+	"streamkf/internal/synopsis"
+)
+
+// SamplingSummary quantifies future-work item 5: innovation-driven
+// adaptive sampling. On the moving-object workload the sampler widens the
+// sensing stride inside linear segments (where the mirror predicts
+// reliably) and snaps back at heading changes, cutting the sensing duty
+// cycle at a bounded accuracy cost.
+func SamplingSummary() (*metrics.Summary, error) {
+	data := gen.MovingObject(gen.DefaultMovingObject())
+	cfg := core.Config{SourceID: "obj", Model: model.Linear(2, 0.1, 0.05, 0.05), Delta: 3}
+
+	// Reference: sense every reading.
+	full, err := core.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := full.Run(data)
+	if err != nil {
+		return nil, err
+	}
+
+	sampler, err := core.NewAdaptiveSampler(cfg.Delta, 0.3, 8)
+	if err != nil {
+		return nil, err
+	}
+	sampled, err := core.NewSampledSession(cfg, sampler)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := sampled.Run(data)
+	if err != nil {
+		return nil, err
+	}
+
+	s := metrics.NewSummary("sampling", "innovation-driven adaptive sampling (future work 5)")
+	s.Add("full sensing: % updates", fm.PercentUpdates())
+	s.Add("full sensing: avg error", fm.AvgErr())
+	s.Add("adaptive: sensing duty cycle %", sm.PercentSensed())
+	s.Add("adaptive: % updates (of all steps)", sm.PercentUpdates())
+	s.Add("adaptive: avg error", sm.AvgErr())
+	s.Add("sensing steps saved", float64(sm.Skipped))
+	return s, nil
+}
+
+// AdaptSummary quantifies future-work item 2: online model switching on
+// a stream whose regime changes (flat → steep ramp → flat), where no
+// fixed model is right throughout.
+func AdaptSummary() (*metrics.Summary, error) {
+	var vals []float64
+	for i := 0; i < 600; i++ {
+		vals = append(vals, 20)
+	}
+	v := 20.0
+	for i := 0; i < 600; i++ {
+		v += 3
+		vals = append(vals, v)
+	}
+	for i := 0; i < 600; i++ {
+		vals = append(vals, v)
+	}
+	data := stream.FromValues(vals, 1)
+	const delta = 2.0
+
+	fixed := func(m model.Model) (core.Metrics, error) {
+		sess, err := core.NewSession(core.Config{SourceID: "s", Model: m, Delta: delta})
+		if err != nil {
+			return core.Metrics{}, err
+		}
+		return sess.Run(data)
+	}
+	cm, err := fixed(model.Constant(1, 0.05, 0.05))
+	if err != nil {
+		return nil, err
+	}
+	lm, err := fixed(model.Linear(1, 1, 0.05, 0.05))
+	if err != nil {
+		return nil, err
+	}
+
+	sel, err := adapt.NewSelector([]model.Model{
+		model.Constant(1, 0.05, 0.05),
+		model.Linear(1, 1, 0.05, 0.05),
+	}, 40, 1.3)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := adapt.NewRunner("s", delta, 0, sel)
+	if err != nil {
+		return nil, err
+	}
+	am, switches, err := runner.Run(data)
+	if err != nil {
+		return nil, err
+	}
+
+	s := metrics.NewSummary("adapt", "online model switching (future work 2)")
+	s.Add("fixed constant: % updates", cm.PercentUpdates())
+	s.Add("fixed linear: % updates", lm.PercentUpdates())
+	s.Add("adaptive: % updates", am.PercentUpdates())
+	s.Add("adaptive: model switches", float64(switches))
+	s.Add("adaptive: final model", runner.ActiveModel())
+	return s, nil
+}
+
+// SynopsisSummary quantifies future-work item 7: storing the power-load
+// month under a reconstruction error tolerance.
+func SynopsisSummary() (*metrics.Summary, error) {
+	data := gen.PowerLoad(gen.DefaultPowerLoad())
+	m := example2SinusoidalModelForSynopsis()
+	store, err := synopsis.New(m, 50)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.AppendAll(data); err != nil {
+		return nil, err
+	}
+	size, err := store.SizeBytes()
+	if err != nil {
+		return nil, err
+	}
+	rec, err := store.Reconstruct()
+	if err != nil {
+		return nil, err
+	}
+	var maxErr float64
+	for i := range data {
+		d := data[i].Values[0] - rec[i].Values[0]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	s := metrics.NewSummary("synopsis", "error-bounded stream storage (future work 7)")
+	s.Add("readings", store.Len())
+	s.Add("corrections stored", store.Corrections())
+	s.Add("points kept %", 100*store.CompressionRatio())
+	s.Add("encoded bytes", size)
+	s.Add("raw bytes (8/value)", len(data)*8)
+	s.Add("max reconstruction error", maxErr)
+	s.Add("tolerance", store.Tolerance())
+	return s, nil
+}
+
+func example2SinusoidalModelForSynopsis() model.Model {
+	_, sinusoidal := example2Models()
+	return sinusoidal
+}
+
+func init() {
+	register(Experiment{
+		ID:       "sampling",
+		Title:    "Adaptive sampling from the innovation sequence",
+		Expected: "duty cycle well below 100% on the piecewise-linear workload at bounded extra error",
+		Run:      func() (Renderable, error) { return SamplingSummary() },
+	})
+	register(Experiment{
+		ID:       "adapt",
+		Title:    "Online state-transition switching across regimes",
+		Expected: "adaptive runner at or below the best fixed model's update rate, with a handful of switches",
+		Run:      func() (Renderable, error) { return AdaptSummary() },
+	})
+	register(Experiment{
+		ID:       "synopsis",
+		Title:    "Stream synopsis under reconstruction error tolerance",
+		Expected: "month of load stored in a fraction of the points with max error <= tolerance",
+		Run:      func() (Renderable, error) { return SynopsisSummary() },
+	})
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"streamkf/internal/baseline"
+	"streamkf/internal/core"
+	"streamkf/internal/gen"
+	"streamkf/internal/metrics"
+	"streamkf/internal/model"
+	"streamkf/internal/netsim"
+	"streamkf/internal/stream"
+)
+
+// Table1Summary quantifies the paper's Table 1 — the behavioural claims
+// against STREAM-style caching, AURORA-style load shedding and
+// COUGAR-style in-network dropping — with three measurable demos:
+//
+//  1. Trend exploitation (vs STREAM): on a trending stream, the caching
+//     scheme's "best estimate for future is the last cached value"
+//     generates a high number of updates, while the predictive DKF
+//     adapts to the slope.
+//  2. Noise degradation (vs all three): on a noisy stream the DKF with
+//     smoothing degrades gracefully, keeping updates low at a modest
+//     accuracy cost, where caching thrashes.
+//  3. Adaptive vs indiscriminate dropping (vs AURORA/COUGAR): dropping
+//     every second reading (a fixed-rate sampler, "independent of the
+//     stream data arrival characteristics") loses accuracy everywhere,
+//     while DKF suppression drops only readings the server can already
+//     predict, for a lower error at a comparable send rate.
+func Table1Summary() (*metrics.Summary, error) {
+	s := metrics.NewSummary("table1", "quantified behavioural comparison (paper Table 1)")
+
+	// Demo 1: trend exploitation on a ramp.
+	ramp := gen.Ramp(2000, 0, 2, 0.05, 21)
+	cacheM, err := runCache(2, 1, ramp)
+	if err != nil {
+		return nil, err
+	}
+	dkfM, err := runDKF("t1", model.Linear(1, 1, 0.05, 0.05), 2, 0, ramp)
+	if err != nil {
+		return nil, err
+	}
+	s.Add("[trend] caching % updates", cacheM.PercentUpdates())
+	s.Add("[trend] linear DKF % updates", dkfM.PercentUpdates())
+	s.Add("[trend] DKF reduction factor", safeDiv(cacheM.PercentUpdates(), dkfM.PercentUpdates()))
+
+	// Demo 2: graceful degradation on noise.
+	noisy := gen.HTTPTraffic(gen.DefaultHTTPTraffic())
+	cacheN, err := runCache(10, 1, noisy)
+	if err != nil {
+		return nil, err
+	}
+	dkfN, err := runDKF("t1", model.Constant(1, 0.05, 0.05), 10, Example3F, noisy)
+	if err != nil {
+		return nil, err
+	}
+	s.Add("[noise] caching % updates", cacheN.PercentUpdates())
+	s.Add("[noise] smoothed DKF % updates", dkfN.PercentUpdates())
+	s.Add("[noise] caching avg error", cacheN.AvgErr())
+	s.Add("[noise] smoothed DKF avg error (vs raw)", dkfN.AvgErrRaw())
+
+	// Demo 3: adaptive suppression vs fixed-rate shedding at matched
+	// send budgets. The shedder ships every Nth reading, holding the
+	// last shipped value in between.
+	walk := gen.RandomWalk(2000, 0, 1.5, 22)
+	dkfW, err := runDKF("t1", model.Linear(1, 1, 0.05, 0.05), 4, 0, walk)
+	if err != nil {
+		return nil, err
+	}
+	stride := int(100 / maxFloat(dkfW.PercentUpdates(), 1e-9))
+	if stride < 1 {
+		stride = 1
+	}
+	shedErr := fixedRateShedError(walk, stride)
+	s.Add("[shedding] DKF % updates", dkfW.PercentUpdates())
+	s.Add("[shedding] DKF avg error", dkfW.AvgErr())
+	s.Add("[shedding] fixed-rate sampler stride", float64(stride))
+	s.Add("[shedding] fixed-rate sampler avg error", shedErr)
+	s.Add("[shedding] error ratio (sampler/DKF)", safeDiv(shedErr, dkfW.AvgErr()))
+	return s, nil
+}
+
+// fixedRateShedError simulates AURORA-style fixed-rate sampling: ship
+// every stride-th reading, answer with the last shipped value, and return
+// the average absolute error.
+func fixedRateShedError(data []stream.Reading, stride int) float64 {
+	var last float64
+	var sum float64
+	for i, r := range data {
+		if i%stride == 0 {
+			last = r.Values[0]
+		}
+		d := r.Values[0] - last
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(data))
+}
+
+// EnergySummary quantifies the §1 energy argument: the transmit/compute
+// cost asymmetry makes source-side filtering a large net win.
+func EnergySummary() (*metrics.Summary, error) {
+	data := gen.MovingObject(gen.DefaultMovingObject())
+	m, err := runDKF("obj", model.Linear(2, 0.1, 0.05, 0.05), 3, 0, data)
+	if err != nil {
+		return nil, err
+	}
+	em := netsim.DefaultEnergyModel()
+	kfInstr := netsim.KFStepInstructions(4, 2)
+	bytesPerUpdate := core.Update{SourceID: "obj", Values: []float64{0, 0}}.WireBytes()
+	cmp := netsim.Compare(em, m.Readings, m.Updates, bytesPerUpdate, kfInstr)
+
+	s := metrics.NewSummary("energy", "sensor energy: DKF vs ship-everything (δ = 3, Example 1)")
+	s.Add("bit/instruction energy ratio", em.Ratio())
+	s.Add("KF instructions per reading", float64(kfInstr))
+	s.Add("% updates", m.PercentUpdates())
+	s.Add("DKF energy (units)", cmp.DKFEnergy)
+	s.Add("ship-all energy (units)", cmp.ShipAllEnergy)
+	s.Add("energy savings", cmp.Savings())
+	return s, nil
+}
+
+// ShipAllReference reports the trivial baseline's cost for Example 1, an
+// upper bound every scheme must beat.
+func ShipAllReference() (*metrics.Summary, error) {
+	data := gen.MovingObject(gen.DefaultMovingObject())
+	sa, err := baseline.NewShipAll(2)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sa.Run(data)
+	if err != nil {
+		return nil, err
+	}
+	s := metrics.NewSummary("shipall", "ship-everything reference (Example 1)")
+	s.Add("% updates", m.PercentUpdates())
+	s.Add("bytes sent", float64(m.BytesSent))
+	s.Add("avg error", m.AvgErr())
+	return s, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:       "table1",
+		Title:    "Summary of existing solutions vs DKF, quantified",
+		Expected: "DKF exploits trends (large update reduction vs caching), degrades gracefully on noise, and beats fixed-rate shedding on error at matched send budgets",
+		Run:      func() (Renderable, error) { return Table1Summary() },
+	})
+	register(Experiment{
+		ID:       "energy",
+		Title:    "Sensor energy accounting (paper §1 motivation)",
+		Expected: "with bit costs 220–2900x instruction costs, DKF saves most transmit energy despite per-reading filtering",
+		Run:      func() (Renderable, error) { return EnergySummary() },
+	})
+	register(Experiment{
+		ID:       "shipall",
+		Title:    "Ship-everything reference",
+		Expected: "100% updates, zero error: the bandwidth ceiling",
+		Run:      func() (Renderable, error) { return ShipAllReference() },
+	})
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package gen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"streamkf/internal/stream"
+)
+
+// WriteCSV serializes readings as CSV with a header row:
+// seq,time,v0,v1,...
+func WriteCSV(w io.Writer, readings []stream.Reading) error {
+	cw := csv.NewWriter(w)
+	if len(readings) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	header := []string{"seq", "time"}
+	for i := range readings[0].Values {
+		header = append(header, fmt.Sprintf("v%d", i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, r := range readings {
+		if len(r.Values) != len(readings[0].Values) {
+			return fmt.Errorf("gen: reading %d has %d values, want %d", r.Seq, len(r.Values), len(readings[0].Values))
+		}
+		row[0] = strconv.Itoa(r.Seq)
+		row[1] = strconv.FormatFloat(r.Time, 'g', -1, 64)
+		for i, v := range r.Values {
+			row[2+i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses readings written by WriteCSV.
+func ReadCSV(r io.Reader) ([]stream.Reading, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("gen: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	header := rows[0]
+	if len(header) < 3 || header[0] != "seq" || header[1] != "time" {
+		return nil, fmt.Errorf("gen: unexpected CSV header %v", header)
+	}
+	nvals := len(header) - 2
+	out := make([]stream.Reading, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("gen: row %d has %d fields, want %d", i+1, len(row), len(header))
+		}
+		seq, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("gen: row %d seq: %w", i+1, err)
+		}
+		ts, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: row %d time: %w", i+1, err)
+		}
+		vals := make([]float64, nvals)
+		for j := 0; j < nvals; j++ {
+			vals[j], err = strconv.ParseFloat(row[2+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("gen: row %d value %d: %w", i+1, j, err)
+			}
+		}
+		out = append(out, stream.Reading{Seq: seq, Time: ts, Values: vals})
+	}
+	return out, nil
+}

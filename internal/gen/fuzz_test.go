@@ -1,0 +1,47 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV reader never panics and that anything it
+// accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteCSV(&good, MovingObject(MovingObjectConfig{N: 5, DT: 0.1, MaxSpeed: 10, MinSegment: 2, MaxSegment: 3, Seed: 1})); err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		good.String(),
+		"",
+		"seq,time,v0\n",
+		"seq,time,v0\n1,2,3\n",
+		"seq,time\n1,2\n",
+		"bogus\n",
+		"seq,time,v0\nx,y,z\n",
+		"seq,time,v0,v1\n0,0,1\n",
+		strings.Repeat("seq,", 1000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		readings, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, readings); err != nil {
+			t.Fatalf("WriteCSV failed on accepted input: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(readings) {
+			t.Fatalf("round trip length %d != %d", len(back), len(readings))
+		}
+	})
+}

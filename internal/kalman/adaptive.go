@@ -1,0 +1,119 @@
+package kalman
+
+import (
+	"fmt"
+
+	"streamkf/internal/mat"
+)
+
+// NoiseEstimator estimates the measurement noise covariance R online from
+// the innovation sequence (paper future work item 6: "robustness of the KF
+// when the statistics of the noise are not known").
+//
+// Under a correct model the innovation d_k = z_k - H x_k^- has covariance
+// S = H P^- H^T + R, so a windowed sample covariance of the innovations,
+// Ĉ, yields R̂ = Ĉ - H P^- H^T. The estimate is floored element-wise on
+// the diagonal to keep R̂ positive definite.
+type NoiseEstimator struct {
+	m      int
+	window int
+	floor  float64
+	buf    []*mat.Matrix // ring buffer of innovations
+	next   int
+	filled bool
+}
+
+// NewNoiseEstimator returns an estimator for m-dimensional innovations
+// using a sliding window of the given size; diagonal entries of the
+// estimate are floored at floor (> 0).
+func NewNoiseEstimator(m, window int, floor float64) (*NoiseEstimator, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("kalman: NewNoiseEstimator m = %d, want > 0", m)
+	}
+	if window < 2 {
+		return nil, fmt.Errorf("kalman: NewNoiseEstimator window = %d, want >= 2", window)
+	}
+	if floor <= 0 {
+		return nil, fmt.Errorf("kalman: NewNoiseEstimator floor = %v, want > 0", floor)
+	}
+	return &NoiseEstimator{m: m, window: window, floor: floor, buf: make([]*mat.Matrix, window)}, nil
+}
+
+// Observe records one innovation vector (m x 1).
+func (n *NoiseEstimator) Observe(innov *mat.Matrix) {
+	if innov.Rows() != n.m || innov.Cols() != 1 {
+		panic(fmt.Sprintf("kalman: NoiseEstimator.Observe innovation is %dx%d, want %dx1", innov.Rows(), innov.Cols(), n.m))
+	}
+	n.buf[n.next] = innov.Clone()
+	n.next++
+	if n.next == n.window {
+		n.next = 0
+		n.filled = true
+	}
+}
+
+// Ready reports whether a full window of innovations has been observed.
+func (n *NoiseEstimator) Ready() bool { return n.filled }
+
+// EstimateR returns R̂ given the filter's current a priori covariance
+// term H P^- H^T. Call only when Ready.
+func (n *NoiseEstimator) EstimateR(hpht *mat.Matrix) *mat.Matrix {
+	if !n.filled {
+		panic("kalman: NoiseEstimator.EstimateR before window filled")
+	}
+	// Sample covariance of innovations (mean assumed ~0 under whiteness).
+	c := mat.New(n.m, n.m)
+	for _, d := range n.buf {
+		c = mat.AddInPlace(mat.Mul(d, mat.Transpose(d)), c)
+	}
+	c = mat.Scale(1/float64(n.window), c)
+	r := mat.Sub(c, hpht)
+	for i := 0; i < n.m; i++ {
+		if r.At(i, i) < n.floor {
+			r.Set(i, i, n.floor)
+		}
+	}
+	return mat.Symmetrize(r)
+}
+
+// AdaptiveFilter wraps a Filter and retunes R every window steps from the
+// observed innovation sequence.
+type AdaptiveFilter struct {
+	*Filter
+	est   *NoiseEstimator
+	every int
+	count int
+}
+
+// NewAdaptive wraps f with innovation-based R estimation over the given
+// window. Retuning happens each time another `window` corrections have
+// been observed.
+func NewAdaptive(f *Filter, window int, floor float64) (*AdaptiveFilter, error) {
+	est, err := NewNoiseEstimator(f.MeasDim(), window, floor)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveFilter{Filter: f, est: est, every: window}, nil
+}
+
+// Correct corrects the underlying filter, records the innovation, and
+// periodically re-estimates R.
+func (a *AdaptiveFilter) Correct(z *mat.Matrix) error {
+	// H P^- H^T must be captured before the correction consumes P^-.
+	hpht := mat.Mul3(a.h, a.p, mat.Transpose(a.h))
+	if err := a.Filter.Correct(z); err != nil {
+		return err
+	}
+	a.est.Observe(a.Filter.innov)
+	a.count++
+	if a.est.Ready() && a.count%a.every == 0 {
+		a.SetNoise(nil, a.est.EstimateR(hpht))
+	}
+	return nil
+}
+
+// Step runs Predict then the adaptive Correct.
+func (a *AdaptiveFilter) Step(z *mat.Matrix) error {
+	a.Predict()
+	return a.Correct(z)
+}

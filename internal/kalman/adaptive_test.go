@@ -1,0 +1,115 @@
+package kalman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkf/internal/mat"
+)
+
+func TestNoiseEstimatorValidation(t *testing.T) {
+	if _, err := NewNoiseEstimator(0, 10, 0.01); err == nil {
+		t.Fatal("accepted m=0")
+	}
+	if _, err := NewNoiseEstimator(1, 1, 0.01); err == nil {
+		t.Fatal("accepted window=1")
+	}
+	if _, err := NewNoiseEstimator(1, 10, 0); err == nil {
+		t.Fatal("accepted floor=0")
+	}
+}
+
+func TestNoiseEstimatorWindow(t *testing.T) {
+	est, err := NewNoiseEstimator(1, 3, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Ready() {
+		t.Fatal("Ready before any observations")
+	}
+	est.Observe(mat.Vec(1))
+	est.Observe(mat.Vec(-1))
+	if est.Ready() {
+		t.Fatal("Ready before window filled")
+	}
+	est.Observe(mat.Vec(2))
+	if !est.Ready() {
+		t.Fatal("not Ready after window filled")
+	}
+	// Innovation second moment = (1+1+4)/3 = 2; with HPH^T = 0.5 the
+	// estimate must be 1.5.
+	r := est.EstimateR(mat.Diag(0.5))
+	if math.Abs(r.At(0, 0)-1.5) > 1e-12 {
+		t.Fatalf("EstimateR = %v, want 1.5", r.At(0, 0))
+	}
+}
+
+func TestNoiseEstimatorFloor(t *testing.T) {
+	est, err := NewNoiseEstimator(1, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.Observe(mat.Vec(0.01))
+	est.Observe(mat.Vec(-0.01))
+	r := est.EstimateR(mat.Diag(1.0)) // estimate would be negative
+	if r.At(0, 0) != 0.25 {
+		t.Fatalf("floored EstimateR = %v, want 0.25", r.At(0, 0))
+	}
+}
+
+func TestNoiseEstimatorNotReadyPanics(t *testing.T) {
+	est, _ := NewNoiseEstimator(1, 4, 0.01)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EstimateR before Ready did not panic")
+		}
+	}()
+	est.EstimateR(mat.Diag(0))
+}
+
+func TestAdaptiveFilterLearnsR(t *testing.T) {
+	// Feed a constant-truth stream whose real measurement noise (sigma=2,
+	// R=4) is far larger than the filter's assumed R (0.01). The adaptive
+	// wrapper must inflate R toward the truth, which in turn lowers the
+	// steady-state gain versus the non-adaptive filter.
+	rng := rand.New(rand.NewSource(11))
+	base := MustNew(scalarConfig(1e-4, 0.01, 0))
+	fixed := MustNew(scalarConfig(1e-4, 0.01, 0))
+	ad, err := NewAdaptive(base, 50, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		z := mat.Vec(5 + 2*rng.NormFloat64())
+		if err := ad.Step(z); err != nil {
+			t.Fatal(err)
+		}
+		if err := fixed.Step(z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	learned := ad.r.At(0, 0)
+	if learned < 1 {
+		t.Fatalf("adaptive R = %v, want inflated toward 4", learned)
+	}
+	if gA, gF := ad.Gain().At(0, 0), fixed.Gain().At(0, 0); gA >= gF {
+		t.Fatalf("adaptive gain %v >= fixed gain %v; R inflation should lower gain", gA, gF)
+	}
+	// And the smoother estimate should be at least as close to truth.
+	if got := ad.State().At(0, 0); math.Abs(got-5) > 0.5 {
+		t.Fatalf("adaptive estimate = %v, want ~5", got)
+	}
+}
+
+func TestAdaptiveCorrectPropagatesError(t *testing.T) {
+	base := MustNew(scalarConfig(0.1, 0.1, 0))
+	ad, err := NewAdaptive(base, 10, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad.Predict()
+	if err := ad.Correct(mat.Vec(1, 2)); err == nil {
+		t.Fatal("adaptive Correct accepted bad measurement")
+	}
+}

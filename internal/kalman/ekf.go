@@ -1,0 +1,138 @@
+package kalman
+
+import (
+	"errors"
+	"fmt"
+
+	"streamkf/internal/mat"
+)
+
+// StateFunc propagates a state vector non-linearly: x_{k+1} = f(k, x_k).
+type StateFunc func(k int, x *mat.Matrix) *mat.Matrix
+
+// MeasFunc maps a state vector to the expected measurement: z = h(x).
+type MeasFunc func(x *mat.Matrix) *mat.Matrix
+
+// JacobianFunc returns the Jacobian of a StateFunc or MeasFunc evaluated
+// at x (and step k for transitions).
+type JacobianFunc func(k int, x *mat.Matrix) *mat.Matrix
+
+// EKF is an extended Kalman filter: the state propagation and measurement
+// equations may be non-linear and are linearized at the most recent
+// estimate (paper §3.2 cases 2–3, future work item 3). The EKF loses the
+// provable optimality of the linear filter but retains its recursive
+// prediction–correction structure.
+type EKF struct {
+	f     StateFunc
+	fJac  JacobianFunc
+	h     MeasFunc
+	hJac  JacobianFunc
+	q, r  *mat.Matrix
+	x, p  *mat.Matrix
+	k     int
+	innov *mat.Matrix
+}
+
+// EKFConfig configures an extended Kalman filter.
+type EKFConfig struct {
+	F    StateFunc    // non-linear state propagation
+	FJac JacobianFunc // ∂f/∂x at (k, x)
+	H    MeasFunc     // non-linear measurement function
+	HJac JacobianFunc // ∂h/∂x at x (k is ignored)
+	Q    *mat.Matrix  // process noise covariance (n x n)
+	R    *mat.Matrix  // measurement noise covariance (m x m)
+	X0   *mat.Matrix  // initial state (n x 1)
+	P0   *mat.Matrix  // initial covariance; nil means 1e3 * I
+}
+
+// NewEKF constructs an EKF, validating what can be validated statically.
+func NewEKF(cfg EKFConfig) (*EKF, error) {
+	if cfg.F == nil || cfg.FJac == nil || cfg.H == nil || cfg.HJac == nil {
+		return nil, errors.New("kalman: EKFConfig requires F, FJac, H and HJac")
+	}
+	if cfg.Q == nil || cfg.R == nil || cfg.X0 == nil {
+		return nil, errors.New("kalman: EKFConfig requires Q, R and X0")
+	}
+	n := cfg.X0.Rows()
+	if cfg.X0.Cols() != 1 {
+		return nil, fmt.Errorf("kalman: EKF X0 is %dx%d, want %dx1", cfg.X0.Rows(), cfg.X0.Cols(), n)
+	}
+	if cfg.Q.Rows() != n || cfg.Q.Cols() != n {
+		return nil, fmt.Errorf("kalman: EKF Q is %dx%d, want %dx%d", cfg.Q.Rows(), cfg.Q.Cols(), n, n)
+	}
+	p0 := cfg.P0
+	if p0 == nil {
+		p0 = mat.ScaledIdentity(n, 1e3)
+	}
+	return &EKF{
+		f: cfg.F, fJac: cfg.FJac, h: cfg.H, hJac: cfg.HJac,
+		q: cfg.Q.Clone(), r: cfg.R.Clone(),
+		x: cfg.X0.Clone(), p: p0.Clone(),
+	}, nil
+}
+
+// Predict propagates the state through the non-linear model and the
+// covariance through its linearization.
+func (e *EKF) Predict() {
+	jac := e.fJac(e.k, e.x)
+	e.x = e.f(e.k, e.x)
+	e.p = mat.Symmetrize(mat.AddInPlace(mat.Mul3(jac, e.p, mat.Transpose(jac)), e.q))
+	e.k++
+}
+
+// Correct folds in measurement z using the measurement Jacobian at the
+// current estimate.
+func (e *EKF) Correct(z *mat.Matrix) error {
+	hj := e.hJac(e.k, e.x)
+	if z.Rows() != hj.Rows() || z.Cols() != 1 {
+		return fmt.Errorf("kalman: EKF measurement is %dx%d, want %dx1", z.Rows(), z.Cols(), hj.Rows())
+	}
+	ht := mat.Transpose(hj)
+	s := mat.AddInPlace(mat.Mul3(hj, e.p, ht), e.r)
+	sInv, err := mat.Inverse(s)
+	if err != nil {
+		return fmt.Errorf("kalman: EKF innovation covariance singular: %w", err)
+	}
+	gain := mat.Mul3(e.p, ht, sInv)
+	innov := mat.Sub(z, e.h(e.x))
+	e.x = mat.AddInPlace(mat.Mul(gain, innov), e.x)
+	e.p = mat.Symmetrize(mat.Mul(mat.Sub(mat.Identity(e.x.Rows()), mat.Mul(gain, hj)), e.p))
+	e.innov = innov
+	return nil
+}
+
+// Step runs Predict then Correct.
+func (e *EKF) Step(z *mat.Matrix) error {
+	e.Predict()
+	return e.Correct(z)
+}
+
+// State returns a copy of the state estimate.
+func (e *EKF) State() *mat.Matrix { return e.x.Clone() }
+
+// Cov returns a copy of the error covariance.
+func (e *EKF) Cov() *mat.Matrix { return e.p.Clone() }
+
+// PredictedMeasurement returns h(x) for the current estimate.
+func (e *EKF) PredictedMeasurement() *mat.Matrix { return e.h(e.x) }
+
+// Innovation returns the most recent innovation, or nil before any Correct.
+func (e *EKF) Innovation() *mat.Matrix {
+	if e.innov == nil {
+		return nil
+	}
+	return e.innov.Clone()
+}
+
+// Clone returns a deep copy sharing only the stateless model functions.
+func (e *EKF) Clone() *EKF {
+	c := &EKF{
+		f: e.f, fJac: e.fJac, h: e.h, hJac: e.hJac,
+		q: e.q.Clone(), r: e.r.Clone(),
+		x: e.x.Clone(), p: e.p.Clone(), k: e.k,
+	}
+	if e.innov != nil {
+		c.innov = e.innov.Clone()
+	}
+	return c
+}

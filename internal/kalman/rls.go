@@ -1,0 +1,73 @@
+package kalman
+
+import (
+	"fmt"
+
+	"streamkf/internal/mat"
+)
+
+// RLS implements exponentially-weighted recursive least squares.
+//
+// The paper observes (§3.2 case 4) that when measurements carry no
+// confidence value they are treated as exact, and Kalman filtering
+// degenerates to (weighted) least-squares fitting: the state is chosen to
+// best explain the observations. RLS is that degenerate case, fitting
+//
+//	y_k = θ^T u_k + e_k
+//
+// recursively with forgetting factor λ ∈ (0, 1]. λ = 1 weighs all history
+// equally; smaller λ adapts faster to drift.
+type RLS struct {
+	theta  *mat.Matrix // parameter estimate (n x 1)
+	p      *mat.Matrix // inverse information matrix (n x n)
+	lambda float64
+	steps  int
+}
+
+// NewRLS returns an RLS estimator for n parameters with forgetting factor
+// lambda. The initial estimate is zero with covariance delta * I; a large
+// delta (e.g. 1e4) expresses an uninformative prior.
+func NewRLS(n int, lambda, delta float64) (*RLS, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("kalman: NewRLS n = %d, want > 0", n)
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("kalman: NewRLS lambda = %v, want (0, 1]", lambda)
+	}
+	if delta <= 0 {
+		return nil, fmt.Errorf("kalman: NewRLS delta = %v, want > 0", delta)
+	}
+	return &RLS{
+		theta:  mat.New(n, 1),
+		p:      mat.ScaledIdentity(n, delta),
+		lambda: lambda,
+	}, nil
+}
+
+// Update folds in one observation: regressor u (n x 1) with response y.
+// It returns the a priori prediction error y - θ^T u.
+func (r *RLS) Update(u *mat.Matrix, y float64) float64 {
+	if u.Rows() != r.theta.Rows() || u.Cols() != 1 {
+		panic(fmt.Sprintf("kalman: RLS.Update regressor is %dx%d, want %dx1", u.Rows(), u.Cols(), r.theta.Rows()))
+	}
+	ut := mat.Transpose(u)
+	e := y - mat.Mul(ut, r.theta).At(0, 0)
+	pu := mat.Mul(r.p, u)
+	denom := r.lambda + mat.Mul(ut, pu).At(0, 0)
+	gain := mat.Scale(1/denom, pu)
+	r.theta = mat.AddInPlace(mat.Scale(e, gain), r.theta)
+	r.p = mat.Symmetrize(mat.Scale(1/r.lambda, mat.Sub(r.p, mat.Mul3(gain, ut, r.p))))
+	r.steps++
+	return e
+}
+
+// Predict returns the model output θ^T u for regressor u.
+func (r *RLS) Predict(u *mat.Matrix) float64 {
+	return mat.Mul(mat.Transpose(u), r.theta).At(0, 0)
+}
+
+// Params returns a copy of the current parameter estimate.
+func (r *RLS) Params() *mat.Matrix { return r.theta.Clone() }
+
+// Steps returns the number of observations folded in so far.
+func (r *RLS) Steps() int { return r.steps }

@@ -1,0 +1,111 @@
+package kalman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamkf/internal/mat"
+)
+
+func TestRLSRecoversLine(t *testing.T) {
+	// Fit y = 3 + 2x from noisy samples.
+	rng := rand.New(rand.NewSource(1))
+	r, err := NewRLS(2, 1.0, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 10
+		y := 3 + 2*x + 0.01*rng.NormFloat64()
+		r.Update(mat.Vec(1, x), y)
+	}
+	p := r.Params()
+	if math.Abs(p.At(0, 0)-3) > 0.01 || math.Abs(p.At(1, 0)-2) > 0.01 {
+		t.Fatalf("params = %v, want [3;2]", p)
+	}
+	if got := r.Predict(mat.Vec(1, 5)); math.Abs(got-13) > 0.05 {
+		t.Fatalf("Predict(5) = %v, want ~13", got)
+	}
+	if r.Steps() != 500 {
+		t.Fatalf("Steps = %d, want 500", r.Steps())
+	}
+}
+
+func TestRLSForgettingTracksDrift(t *testing.T) {
+	// With lambda < 1 the estimator must re-converge after the underlying
+	// parameters jump; with lambda == 1 it adapts much more slowly.
+	run := func(lambda float64) float64 {
+		rng := rand.New(rand.NewSource(2))
+		r, err := NewRLS(2, lambda, 1e4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slope := 1.0
+		for i := 0; i < 2000; i++ {
+			if i == 1000 {
+				slope = 5.0 // regime change
+			}
+			x := rng.Float64() * 4
+			r.Update(mat.Vec(1, x), slope*x)
+		}
+		return math.Abs(r.Params().At(1, 0) - 5)
+	}
+	fast := run(0.95)
+	slow := run(1.0)
+	if fast >= slow {
+		t.Fatalf("forgetting lambda=0.95 err %v >= lambda=1 err %v", fast, slow)
+	}
+	if fast > 0.05 {
+		t.Fatalf("lambda=0.95 final err = %v, want < 0.05", fast)
+	}
+}
+
+func TestRLSValidation(t *testing.T) {
+	if _, err := NewRLS(0, 1, 1); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := NewRLS(2, 0, 1); err == nil {
+		t.Fatal("accepted lambda=0")
+	}
+	if _, err := NewRLS(2, 1.5, 1); err == nil {
+		t.Fatal("accepted lambda>1")
+	}
+	if _, err := NewRLS(2, 1, 0); err == nil {
+		t.Fatal("accepted delta=0")
+	}
+}
+
+func TestRLSUpdateDimPanics(t *testing.T) {
+	r, _ := NewRLS(2, 1, 1e4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update with wrong regressor dim did not panic")
+		}
+	}()
+	r.Update(mat.Vec(1), 1)
+}
+
+// Property: on noiseless data RLS interpolates exactly once it has seen
+// enough independent regressors.
+func TestRLSExactFitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.NormFloat64() * 5
+		b := rng.NormFloat64() * 5
+		r, err := NewRLS(2, 1, 1e8)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			x := rng.NormFloat64() * 3
+			r.Update(mat.Vec(1, x), a+b*x)
+		}
+		x := rng.NormFloat64() * 3
+		return math.Abs(r.Predict(mat.Vec(1, x))-(a+b*x)) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package kalman
+
+import (
+	"fmt"
+
+	"streamkf/internal/mat"
+)
+
+// SmoothResult holds the fixed-interval (Rauch–Tung–Striebel) smoothed
+// trajectory: for each step the smoothed state estimate and covariance.
+type SmoothResult struct {
+	States []*mat.Matrix // smoothed x_k|N, one per measurement
+	Covs   []*mat.Matrix // smoothed P_k|N
+}
+
+// Smooth runs a forward Kalman filter pass over the measurements and a
+// backward Rauch–Tung–Striebel pass, returning the fixed-interval
+// smoothed trajectory. Where the online filter KFc (paper §4.3) smooths
+// causally — each output uses only past data — the RTS smoother uses the
+// whole interval, making it the right tool for offline reprocessing of
+// archived streams (e.g. cleaning a synopsis before analysis).
+//
+// cfg describes the model exactly as for New; measurements is the ordered
+// list of m×1 measurement vectors. Time-varying Phi is supported.
+func Smooth(cfg Config, measurements []*mat.Matrix) (*SmoothResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(measurements)
+	if n == 0 {
+		return &SmoothResult{}, nil
+	}
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Forward pass, recording the prior and posterior moments each step.
+	priorX := make([]*mat.Matrix, n)
+	priorP := make([]*mat.Matrix, n)
+	postX := make([]*mat.Matrix, n)
+	postP := make([]*mat.Matrix, n)
+	phis := make([]*mat.Matrix, n)
+	for k, z := range measurements {
+		phis[k] = f.phi(f.k).Clone()
+		f.Predict()
+		priorX[k] = f.State()
+		priorP[k] = f.Cov()
+		if err := f.Correct(z); err != nil {
+			return nil, fmt.Errorf("kalman: Smooth forward pass step %d: %w", k, err)
+		}
+		postX[k] = f.State()
+		postP[k] = f.Cov()
+	}
+
+	// Backward RTS pass:
+	//   C_k = P_k φ_k^T (P_{k+1}^-)^-1
+	//   x_k|N = x_k + C_k (x_{k+1}|N - x_{k+1}^-)
+	//   P_k|N = P_k + C_k (P_{k+1}|N - P_{k+1}^-) C_k^T
+	states := make([]*mat.Matrix, n)
+	covs := make([]*mat.Matrix, n)
+	states[n-1] = postX[n-1]
+	covs[n-1] = postP[n-1]
+	for k := n - 2; k >= 0; k-- {
+		phiNext := phis[k+1]
+		priorInv, err := mat.Inverse(priorP[k+1])
+		if err != nil {
+			return nil, fmt.Errorf("kalman: Smooth backward pass step %d: %w", k, err)
+		}
+		c := mat.Mul3(postP[k], mat.Transpose(phiNext), priorInv)
+		dx := mat.Sub(states[k+1], priorX[k+1])
+		states[k] = mat.Add(postX[k], mat.Mul(c, dx))
+		dp := mat.Sub(covs[k+1], priorP[k+1])
+		covs[k] = mat.Symmetrize(mat.Add(postP[k], mat.Mul3(c, dp, mat.Transpose(c))))
+	}
+	return &SmoothResult{States: states, Covs: covs}, nil
+}
+
+// MeasurementsFromValues converts a slice of scalar readings into the
+// m=1 measurement vectors Smooth expects.
+func MeasurementsFromValues(vals []float64) []*mat.Matrix {
+	out := make([]*mat.Matrix, len(vals))
+	for i, v := range vals {
+		out[i] = mat.Vec(v)
+	}
+	return out
+}

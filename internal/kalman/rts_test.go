@@ -1,0 +1,121 @@
+package kalman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkf/internal/mat"
+)
+
+func TestSmoothEmpty(t *testing.T) {
+	res, err := Smooth(scalarConfig(0.1, 0.1, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.States) != 0 {
+		t.Fatal("non-empty result for no measurements")
+	}
+}
+
+func TestSmoothInvalidConfig(t *testing.T) {
+	if _, err := Smooth(Config{}, MeasurementsFromValues([]float64{1})); err == nil {
+		t.Fatal("accepted invalid config")
+	}
+}
+
+func TestSmoothBeatsFilterOnNoisyRamp(t *testing.T) {
+	// The fixed-interval smoother uses future data, so its trajectory
+	// RMSE must beat the causal filter's on a noisy linear trend.
+	rng := rand.New(rand.NewSource(8))
+	const n = 400
+	truth := make([]float64, n)
+	zs := make([]*mat.Matrix, n)
+	for k := 0; k < n; k++ {
+		truth[k] = 2 * float64(k+1)
+		zs[k] = mat.Vec(truth[k] + 5*rng.NormFloat64())
+	}
+	cfg := cvConfig(1, 1e-4, 25)
+
+	res, err := Smooth(cfg, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.States) != n || len(res.Covs) != n {
+		t.Fatalf("result lengths %d/%d, want %d", len(res.States), len(res.Covs), n)
+	}
+
+	f := MustNew(cfg)
+	var filtErr, smoothErr float64
+	for k := 0; k < n; k++ {
+		if err := f.Step(zs[k]); err != nil {
+			t.Fatal(err)
+		}
+		fe := f.State().At(0, 0) - truth[k]
+		se := res.States[k].At(0, 0) - truth[k]
+		filtErr += fe * fe
+		smoothErr += se * se
+	}
+	if smoothErr >= filtErr {
+		t.Fatalf("smoother RMSE^2 %v >= filter %v", smoothErr, filtErr)
+	}
+}
+
+func TestSmoothCovarianceShrinks(t *testing.T) {
+	// Smoothed covariance is never larger than the filtered covariance
+	// (in the diagonal entries) for interior points.
+	rng := rand.New(rand.NewSource(3))
+	const n = 100
+	zs := make([]*mat.Matrix, n)
+	for k := range zs {
+		zs[k] = mat.Vec(float64(k) + rng.NormFloat64())
+	}
+	cfg := cvConfig(1, 0.01, 1)
+	res, err := Smooth(cfg, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := MustNew(cfg)
+	for k := 0; k < n; k++ {
+		if err := f.Step(zs[k]); err != nil {
+			t.Fatal(err)
+		}
+		if k < n-1 {
+			filtered := f.Cov().At(0, 0)
+			smoothed := res.Covs[k].At(0, 0)
+			if smoothed > filtered+1e-9 {
+				t.Fatalf("step %d: smoothed var %v > filtered %v", k, smoothed, filtered)
+			}
+		}
+	}
+	// The final step must agree exactly with the filter (no future data).
+	if got, want := res.States[n-1].At(0, 0), f.State().At(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("final smoothed state %v != filtered %v", got, want)
+	}
+}
+
+func TestSmoothNoiselessExact(t *testing.T) {
+	// On noiseless linear data with a matched model, the smoothed
+	// positions must interpolate the data almost exactly.
+	const n = 50
+	vals := make([]float64, n)
+	for k := range vals {
+		vals[k] = 3 * float64(k+1)
+	}
+	res, err := Smooth(cvConfig(1, 1e-6, 1e-6), MeasurementsFromValues(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 5; k < n; k++ {
+		if d := math.Abs(res.States[k].At(0, 0) - vals[k]); d > 0.01 {
+			t.Fatalf("step %d: smoothed %v, truth %v", k, res.States[k].At(0, 0), vals[k])
+		}
+	}
+}
+
+func TestMeasurementsFromValues(t *testing.T) {
+	ms := MeasurementsFromValues([]float64{1, 2})
+	if len(ms) != 2 || ms[1].At(0, 0) != 2 || ms[0].Rows() != 1 {
+		t.Fatalf("MeasurementsFromValues = %v", ms)
+	}
+}

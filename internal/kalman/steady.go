@@ -1,0 +1,103 @@
+package kalman
+
+import (
+	"errors"
+	"fmt"
+
+	"streamkf/internal/mat"
+)
+
+// SteadyState iterates the discrete algebraic Riccati recursion
+//
+//	P^- = φ P φ^T + Q
+//	K   = P^- H^T (H P^- H^T + R)^-1
+//	P   = (I - K H) P^-
+//
+// to a fixed point, returning the converged a priori covariance and gain.
+// This is the paper's §3.2 case 5: when the noise processes are
+// stationary, the covariance propagation is independent of the data and
+// can be run offline, yielding a constant-gain filter that skips all
+// matrix inversions at run time.
+//
+// The recursion is run for at most maxIter steps and declared converged
+// when the max-abs element change in P falls below tol.
+func SteadyState(phi, h, q, r *mat.Matrix, tol float64, maxIter int) (p, k *mat.Matrix, err error) {
+	n := phi.Rows()
+	if phi.Cols() != n {
+		panic(fmt.Sprintf("kalman: SteadyState phi is %dx%d, want square", phi.Rows(), phi.Cols()))
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	ht := mat.Transpose(h)
+	p = mat.Identity(n)
+	var gain *mat.Matrix
+	for i := 0; i < maxIter; i++ {
+		prior := mat.AddInPlace(mat.Mul3(phi, p, mat.Transpose(phi)), q)
+		s := mat.AddInPlace(mat.Mul3(h, prior, ht), r)
+		sInv, ierr := mat.Inverse(s)
+		if ierr != nil {
+			return nil, nil, fmt.Errorf("kalman: SteadyState innovation covariance singular: %w", ierr)
+		}
+		gain = mat.Mul3(prior, ht, sInv)
+		next := mat.Symmetrize(mat.Mul(mat.Sub(mat.Identity(n), mat.Mul(gain, h)), prior))
+		if mat.MaxAbs(mat.Sub(next, p)) < tol {
+			return next, gain, nil
+		}
+		p = next
+	}
+	return nil, nil, errors.New("kalman: SteadyState Riccati iteration did not converge")
+}
+
+// StaticFilter is a constant-gain Kalman filter: the gain is precomputed
+// with SteadyState so each step costs two small mat-vec products and no
+// inversion. It trades adaptivity during the transient for throughput —
+// see BenchmarkAblationSteadyState.
+type StaticFilter struct {
+	phi  TransitionFunc
+	h    *mat.Matrix
+	gain *mat.Matrix
+	x    *mat.Matrix
+	k    int
+}
+
+// NewStatic builds a StaticFilter for a time-invariant model.
+func NewStatic(phi, h, q, r, x0 *mat.Matrix) (*StaticFilter, error) {
+	if x0.Cols() != 1 || x0.Rows() != phi.Rows() {
+		return nil, fmt.Errorf("kalman: NewStatic x0 is %dx%d, want %dx1", x0.Rows(), x0.Cols(), phi.Rows())
+	}
+	_, gain, err := SteadyState(phi, h, q, r, 1e-12, 10000)
+	if err != nil {
+		return nil, err
+	}
+	return &StaticFilter{phi: Static(phi.Clone()), h: h.Clone(), gain: gain, x: x0.Clone()}, nil
+}
+
+// Predict propagates the state one step: x = φ x.
+func (f *StaticFilter) Predict() {
+	f.x = mat.Mul(f.phi(f.k), f.x)
+	f.k++
+}
+
+// Correct folds in measurement z with the precomputed gain.
+func (f *StaticFilter) Correct(z *mat.Matrix) {
+	innov := mat.Sub(z, mat.Mul(f.h, f.x))
+	f.x = mat.AddInPlace(mat.Mul(f.gain, innov), f.x)
+}
+
+// PredictedMeasurement returns H x.
+func (f *StaticFilter) PredictedMeasurement() *mat.Matrix { return mat.Mul(f.h, f.x) }
+
+// State returns a copy of the state estimate.
+func (f *StaticFilter) State() *mat.Matrix { return f.x.Clone() }
+
+// Gain returns a copy of the precomputed steady-state gain.
+func (f *StaticFilter) Gain() *mat.Matrix { return f.gain.Clone() }
+
+// Clone returns a deep copy (mirror construction).
+func (f *StaticFilter) Clone() *StaticFilter {
+	return &StaticFilter{phi: f.phi, h: f.h.Clone(), gain: f.gain.Clone(), x: f.x.Clone(), k: f.k}
+}

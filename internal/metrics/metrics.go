@@ -1,0 +1,229 @@
+// Package metrics provides the result containers and reporting used by
+// the experiment harness: parameter sweeps with named series (one per
+// figure curve), ASCII table rendering for terminal output, and CSV
+// export for plotting.
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sweep holds one experiment's results: a swept parameter (the figure's
+// x-axis) and one or more named series (the curves).
+type Sweep struct {
+	// Name identifies the experiment (e.g. "fig4").
+	Name string
+	// Title is the human-readable caption.
+	Title string
+	// ParamName labels the x-axis (e.g. "precision width").
+	ParamName string
+	// ValueName labels the y-axis (e.g. "% updates").
+	ValueName string
+	// Params are the x-axis values, in presentation order.
+	Params []float64
+	// Series maps curve name to y values, index-aligned with Params.
+	Series map[string][]float64
+	// Order lists series names in presentation order; series not listed
+	// are appended alphabetically.
+	Order []string
+}
+
+// NewSweep constructs an empty sweep over the given parameter values.
+func NewSweep(name, title, paramName, valueName string, params []float64) *Sweep {
+	p := make([]float64, len(params))
+	copy(p, params)
+	return &Sweep{
+		Name:      name,
+		Title:     title,
+		ParamName: paramName,
+		ValueName: valueName,
+		Params:    p,
+		Series:    make(map[string][]float64),
+	}
+}
+
+// Add appends a y value to the named series, creating it on first use and
+// registering presentation order.
+func (s *Sweep) Add(series string, v float64) {
+	if _, ok := s.Series[series]; !ok {
+		s.Order = append(s.Order, series)
+	}
+	s.Series[series] = append(s.Series[series], v)
+}
+
+// Validate checks that every series has exactly one value per parameter.
+func (s *Sweep) Validate() error {
+	for name, vals := range s.Series {
+		if len(vals) != len(s.Params) {
+			return fmt.Errorf("metrics: sweep %s series %s has %d values for %d params", s.Name, name, len(vals), len(s.Params))
+		}
+	}
+	return nil
+}
+
+// SeriesNames returns the series in presentation order.
+func (s *Sweep) SeriesNames() []string {
+	seen := make(map[string]bool, len(s.Order))
+	out := make([]string, 0, len(s.Series))
+	for _, n := range s.Order {
+		if _, ok := s.Series[n]; ok && !seen[n] {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var rest []string
+	for n := range s.Series {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// Table renders the sweep as an aligned ASCII table.
+func (s *Sweep) Table() string {
+	names := s.SeriesNames()
+	header := append([]string{s.ParamName}, names...)
+	rows := [][]string{header}
+	for i, p := range s.Params {
+		row := []string{formatFloat(p)}
+		for _, n := range names {
+			vals := s.Series[n]
+			if i < len(vals) {
+				row = append(row, formatFloat(vals[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", s.Name, s.Title, s.ValueName)
+	b.WriteString(renderTable(rows))
+	return b.String()
+}
+
+// WriteCSV exports the sweep with a header row: param,series1,series2,...
+func (s *Sweep) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	names := s.SeriesNames()
+	if err := cw.Write(append([]string{s.ParamName}, names...)); err != nil {
+		return err
+	}
+	for i, p := range s.Params {
+		row := []string{strconv.FormatFloat(p, 'g', -1, 64)}
+		for _, n := range names {
+			vals := s.Series[n]
+			if i < len(vals) {
+				row = append(row, strconv.FormatFloat(vals[i], 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary holds scalar key/value results for experiments that are not
+// parameter sweeps (dataset statistics, single comparisons).
+type Summary struct {
+	Name  string
+	Title string
+	rows  [][2]string
+}
+
+// NewSummary constructs an empty summary.
+func NewSummary(name, title string) *Summary {
+	return &Summary{Name: name, Title: title}
+}
+
+// Add appends a key/value row.
+func (s *Summary) Add(key string, value any) {
+	var v string
+	switch x := value.(type) {
+	case float64:
+		v = formatFloat(x)
+	case string:
+		v = x
+	default:
+		v = fmt.Sprint(x)
+	}
+	s.rows = append(s.rows, [2]string{key, v})
+}
+
+// Rows returns the accumulated rows.
+func (s *Summary) Rows() [][2]string {
+	out := make([][2]string, len(s.rows))
+	copy(out, s.rows)
+	return out
+}
+
+// Table renders the summary as an aligned ASCII table.
+func (s *Summary) Table() string {
+	rows := [][]string{{"metric", "value"}}
+	for _, r := range s.rows {
+		rows = append(rows, []string{r[0], r[1]})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", s.Name, s.Title)
+	b.WriteString(renderTable(rows))
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case math.Abs(v) >= 0.01 && math.Abs(v) < 1e6:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}
+
+func renderTable(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

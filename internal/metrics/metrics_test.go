@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSweepAddAndValidate(t *testing.T) {
+	s := NewSweep("fig4", "updates vs delta", "delta", "% updates", []float64{1, 2})
+	s.Add("caching", 90)
+	s.Add("linear", 20)
+	s.Add("caching", 70)
+	s.Add("linear", 10)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Add("caching", 55)
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate accepted ragged series")
+	}
+}
+
+func TestSweepSeriesOrder(t *testing.T) {
+	s := NewSweep("x", "t", "p", "v", []float64{1})
+	s.Add("zeta", 1)
+	s.Add("alpha", 2)
+	s.Series["manual"] = []float64{3}
+	names := s.SeriesNames()
+	if names[0] != "zeta" || names[1] != "alpha" || names[2] != "manual" {
+		t.Fatalf("order = %v", names)
+	}
+}
+
+func TestSweepParamsCopied(t *testing.T) {
+	params := []float64{1, 2}
+	s := NewSweep("x", "t", "p", "v", params)
+	params[0] = 99
+	if s.Params[0] != 1 {
+		t.Fatal("NewSweep aliases params")
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	s := NewSweep("fig4", "updates", "delta", "%", []float64{1, 2})
+	s.Add("caching", 90.1234)
+	s.Add("caching", 70)
+	tbl := s.Table()
+	if !strings.Contains(tbl, "fig4") || !strings.Contains(tbl, "caching") || !strings.Contains(tbl, "90.123") {
+		t.Fatalf("table missing content:\n%s", tbl)
+	}
+}
+
+func TestSweepTableRagged(t *testing.T) {
+	s := NewSweep("x", "t", "p", "v", []float64{1, 2})
+	s.Add("a", 5)
+	tbl := s.Table()
+	if !strings.Contains(tbl, "-") {
+		t.Fatalf("ragged cell not dashed:\n%s", tbl)
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	s := NewSweep("fig4", "updates", "delta", "%", []float64{1, 2})
+	s.Add("a", 10)
+	s.Add("a", 20)
+	s.Add("b", 30)
+	s.Add("b", 40)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "delta,a,b\n1,10,30\n2,20,40\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := NewSummary("fig3", "dataset stats")
+	s.Add("points", 4000)
+	s.Add("max speed", 499.5)
+	s.Add("note", "synthetic")
+	if len(s.Rows()) != 3 {
+		t.Fatalf("rows = %d", len(s.Rows()))
+	}
+	tbl := s.Table()
+	for _, want := range []string{"fig3", "points", "4000", "499.500", "synthetic"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("summary table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		5:       "5",
+		1.23456: "1.235",
+		1e-9:    "1e-09",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package model provides the catalogue of stream models from Section 4 of
+// the paper: the constant model (Eq. 15), the linear constant-velocity
+// model (Eq. 14), higher-order constant-acceleration and jerk models (the
+// [P, Ṗ, P̈, P⃛] generalization of §4.1), the sinusoidal model for periodic
+// loads (Eq. 17), and the one-state smoothing model whose process noise is
+// the user-supplied smoothing factor F (§4.3).
+//
+// A Model bundles everything the Dual Kalman Filter protocol needs to
+// instantiate matched filters at the server and the source: the transition
+// function φ_k, measurement matrix H, noise covariances Q and R, and a rule
+// for bootstrapping the initial state from the first measurement.
+package model
+
+import (
+	"fmt"
+
+	"streamkf/internal/kalman"
+	"streamkf/internal/mat"
+)
+
+// Model describes a linear (possibly time-varying) stream model.
+type Model struct {
+	// Name identifies the model in logs, metrics and wire messages.
+	Name string
+	// Dim is n, the number of state variables.
+	Dim int
+	// MeasDim is m, the number of measured variables.
+	MeasDim int
+	// Phi returns the state transition matrix for step k.
+	Phi kalman.TransitionFunc
+	// H is the m x n measurement matrix.
+	H *mat.Matrix
+	// Q is the n x n process noise covariance.
+	Q *mat.Matrix
+	// R is the m x m measurement noise covariance.
+	R *mat.Matrix
+	// Init maps the first measurement to an initial state estimate.
+	Init func(z []float64) *mat.Matrix
+	// P0 is the initial covariance; nil lets the filter default apply.
+	P0 *mat.Matrix
+}
+
+// Validate checks internal dimensional consistency.
+func (m Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("model: empty name")
+	}
+	if m.Dim <= 0 || m.MeasDim <= 0 {
+		return fmt.Errorf("model %s: non-positive dims %d/%d", m.Name, m.Dim, m.MeasDim)
+	}
+	if m.Phi == nil || m.H == nil || m.Q == nil || m.R == nil || m.Init == nil {
+		return fmt.Errorf("model %s: missing Phi/H/Q/R/Init", m.Name)
+	}
+	if phi := m.Phi(0); phi.Rows() != m.Dim || phi.Cols() != m.Dim {
+		return fmt.Errorf("model %s: Phi(0) is %dx%d, want %dx%d", m.Name, phi.Rows(), phi.Cols(), m.Dim, m.Dim)
+	}
+	if m.H.Rows() != m.MeasDim || m.H.Cols() != m.Dim {
+		return fmt.Errorf("model %s: H is %dx%d, want %dx%d", m.Name, m.H.Rows(), m.H.Cols(), m.MeasDim, m.Dim)
+	}
+	if m.Q.Rows() != m.Dim || m.Q.Cols() != m.Dim {
+		return fmt.Errorf("model %s: Q is %dx%d, want %dx%d", m.Name, m.Q.Rows(), m.Q.Cols(), m.Dim, m.Dim)
+	}
+	if m.R.Rows() != m.MeasDim || m.R.Cols() != m.MeasDim {
+		return fmt.Errorf("model %s: R is %dx%d, want %dx%d", m.Name, m.R.Rows(), m.R.Cols(), m.MeasDim, m.MeasDim)
+	}
+	return nil
+}
+
+// NewFilter instantiates a Kalman filter for this model, bootstrapped
+// from the first measurement z0.
+func (m Model) NewFilter(z0 []float64) (*kalman.Filter, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(z0) != m.MeasDim {
+		return nil, fmt.Errorf("model %s: initial measurement has %d values, want %d", m.Name, len(z0), m.MeasDim)
+	}
+	return kalman.New(kalman.Config{
+		Phi: m.Phi,
+		H:   m.H,
+		Q:   m.Q,
+		R:   m.R,
+		X0:  m.Init(z0),
+		P0:  m.P0,
+	})
+}

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"streamkf/internal/mat"
+)
+
+func TestNonlinearValidate(t *testing.T) {
+	good := Pendulum(0.01, 9.8, 0.05, 1e-6, 1e-4)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid nonlinear model rejected: %v", err)
+	}
+	cases := map[string]func(*Nonlinear){
+		"empty name": func(m *Nonlinear) { m.Name = "" },
+		"zero dim":   func(m *Nonlinear) { m.Dim = 0 },
+		"nil F":      func(m *Nonlinear) { m.F = nil },
+		"nil FJac":   func(m *Nonlinear) { m.FJac = nil },
+		"nil H":      func(m *Nonlinear) { m.H = nil },
+		"nil HJac":   func(m *Nonlinear) { m.HJac = nil },
+		"nil Init":   func(m *Nonlinear) { m.Init = nil },
+		"bad Q":      func(m *Nonlinear) { m.Q = mat.Identity(3) },
+		"bad R":      func(m *Nonlinear) { m.R = mat.Identity(2) },
+		"nil Q":      func(m *Nonlinear) { m.Q = nil },
+	}
+	for name, mutate := range cases {
+		m := Pendulum(0.01, 9.8, 0.05, 1e-6, 1e-4)
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNonlinearNewEKF(t *testing.T) {
+	m := Pendulum(0.01, 9.8, 0.05, 1e-6, 1e-4)
+	if _, err := m.NewEKF([]float64{1, 2}); err == nil {
+		t.Fatal("accepted wrong measurement arity")
+	}
+	e, err := m.NewEKF([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.State().At(0, 0); got != 0.5 {
+		t.Fatalf("bootstrap angle = %v, want 0.5", got)
+	}
+}
+
+func TestPendulumJacobianConsistency(t *testing.T) {
+	// Finite-difference check of the analytic Jacobian at a few points.
+	m := Pendulum(0.02, 9.8, 0.05, 1e-6, 1e-4)
+	const eps = 1e-6
+	for _, pt := range [][2]float64{{0.3, 0.1}, {-1.1, 2.0}, {2.9, -0.7}} {
+		x := mat.Vec(pt[0], pt[1])
+		jac := m.FJac(0, x)
+		for j := 0; j < 2; j++ {
+			xp := x.Clone()
+			xp.Set(j, 0, xp.At(j, 0)+eps)
+			fp := m.F(0, xp)
+			f0 := m.F(0, x)
+			for i := 0; i < 2; i++ {
+				numeric := (fp.At(i, 0) - f0.At(i, 0)) / eps
+				if d := math.Abs(numeric - jac.At(i, j)); d > 1e-4 {
+					t.Fatalf("Jacobian[%d][%d] at %v: analytic %v vs numeric %v", i, j, pt, jac.At(i, j), numeric)
+				}
+			}
+		}
+	}
+}
+
+func TestPendulumEnergyDecays(t *testing.T) {
+	// With damping, the model trajectory must lose amplitude over time.
+	m := Pendulum(0.02, 9.8, 0.1, 1e-6, 1e-4)
+	x := mat.Vec(1.0, 0)
+	var firstPeak, lastPeak float64
+	prev := x.At(0, 0)
+	rising := false
+	for k := 0; k < 5000; k++ {
+		x = m.F(k, x)
+		cur := x.At(0, 0)
+		if cur < prev && rising { // local max
+			if firstPeak == 0 {
+				firstPeak = prev
+			}
+			lastPeak = prev
+		}
+		rising = cur > prev
+		prev = cur
+	}
+	if firstPeak == 0 || lastPeak >= firstPeak {
+		t.Fatalf("damped pendulum amplitude did not decay: first %v, last %v", firstPeak, lastPeak)
+	}
+}

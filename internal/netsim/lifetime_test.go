@@ -1,0 +1,97 @@
+package netsim
+
+import "testing"
+
+func fleet(updateRate float64, instr int64) FleetConfig {
+	return FleetConfig{
+		Nodes:          20,
+		Battery:        1e9,
+		Model:          DefaultEnergyModel(),
+		BytesPerUpdate: 28,
+		InstrPerRound:  instr,
+		UpdateRate:     updateRate,
+		Seed:           7,
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	good := fleet(0.1, 1000)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*FleetConfig){
+		func(c *FleetConfig) { c.Nodes = 0 },
+		func(c *FleetConfig) { c.Battery = 0 },
+		func(c *FleetConfig) { c.Model = EnergyModel{} },
+		func(c *FleetConfig) { c.BytesPerUpdate = 0 },
+		func(c *FleetConfig) { c.InstrPerRound = -1 },
+		func(c *FleetConfig) { c.UpdateRate = 1.5 },
+		func(c *FleetConfig) { c.UpdateRate = -0.1 },
+	}
+	for i, mutate := range mutations {
+		c := fleet(0.1, 1000)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := SimulateLifetime(good, 0); err == nil {
+		t.Fatal("accepted maxRounds 0")
+	}
+	bad := good
+	bad.Nodes = 0
+	if _, err := SimulateLifetime(bad, 10); err == nil {
+		t.Fatal("simulated invalid config")
+	}
+}
+
+func TestSuppressionExtendsLifetime(t *testing.T) {
+	// DKF at 8% updates (plus per-round filter compute) must far outlive
+	// ship-everything when bits cost 1500x instructions.
+	const horizon = 2_000_000
+	dkf, err := SimulateLifetime(fleet(0.08, KFStepInstructions(4, 2)), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship, err := SimulateLifetime(fleet(1.0, 0), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ship.FirstDeath == 0 {
+		t.Fatal("ship-all fleet never died; battery too large for the test")
+	}
+	if dkf.FirstDeath == 0 {
+		t.Fatalf("DKF fleet died within %d rounds? first death %d", horizon, dkf.FirstDeath)
+	}
+	ratio := float64(dkf.FirstDeath) / float64(ship.FirstDeath)
+	if ratio < 4 {
+		t.Fatalf("lifetime ratio %.1f, want >= 4 at 12.5x fewer transmissions", ratio)
+	}
+	if dkf.HalfDead <= ship.HalfDead {
+		t.Fatalf("DKF half-dead at %d, ship at %d", dkf.HalfDead, ship.HalfDead)
+	}
+}
+
+func TestLifetimeAccountingConsistency(t *testing.T) {
+	res, err := SimulateLifetime(fleet(1.0, 0), 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllDead == 0 || res.Survivors != 0 {
+		t.Fatalf("deterministic full-rate fleet should fully die: %+v", res)
+	}
+	if !(res.FirstDeath <= res.HalfDead && res.HalfDead <= res.AllDead) {
+		t.Fatalf("death milestones out of order: %+v", res)
+	}
+}
+
+func TestLifetimeSurvivorsAtHorizon(t *testing.T) {
+	// Tiny horizon: nobody dies, survivors = fleet size.
+	res, err := SimulateLifetime(fleet(0.05, 100), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Survivors != 20 || res.FirstDeath != 0 {
+		t.Fatalf("short-horizon result %+v", res)
+	}
+}

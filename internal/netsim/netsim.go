@@ -1,0 +1,141 @@
+// Package netsim models the wireless-sensor energy economics that
+// motivate the paper's bandwidth focus (§1): "the ratio of energy spent
+// in sending one bit over networks to that spent in executing one
+// instruction is between 220 to 2,900 on various architectures". It
+// provides a simple per-node energy account replacing the physical power
+// measurements of the original testbed.
+package netsim
+
+import (
+	"fmt"
+)
+
+// EnergyModel prices a sensor node's two cost centres in abstract energy
+// units: executing instructions and radioing bits.
+type EnergyModel struct {
+	// PerInstruction is the energy cost of one CPU instruction.
+	PerInstruction float64
+	// PerBit is the energy cost of transmitting one bit. The paper cites
+	// ratios of 220–2900 over PerInstruction.
+	PerBit float64
+}
+
+// DefaultEnergyModel uses the midpoint of the paper's cited ratio range:
+// 1 unit per instruction, 1500 per transmitted bit.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{PerInstruction: 1, PerBit: 1500}
+}
+
+// Validate checks the model.
+func (e EnergyModel) Validate() error {
+	if e.PerInstruction <= 0 || e.PerBit <= 0 {
+		return fmt.Errorf("netsim: energy costs must be positive, got instr=%v bit=%v", e.PerInstruction, e.PerBit)
+	}
+	return nil
+}
+
+// Ratio returns PerBit / PerInstruction.
+func (e EnergyModel) Ratio() float64 { return e.PerBit / e.PerInstruction }
+
+// Account tracks a node's cumulative energy expenditure against an
+// optional battery budget.
+type Account struct {
+	model    EnergyModel
+	battery  float64 // 0 means unlimited
+	spent    float64
+	bytesTx  int
+	instrRun int64
+}
+
+// NewAccount returns an account under the given model. battery <= 0
+// means unlimited.
+func NewAccount(model EnergyModel, battery float64) (*Account, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Account{model: model, battery: battery}, nil
+}
+
+// ChargeTransmit records transmitting n bytes and returns the energy
+// spent on it.
+func (a *Account) ChargeTransmit(n int) float64 {
+	e := float64(n*8) * a.model.PerBit
+	a.spent += e
+	a.bytesTx += n
+	return e
+}
+
+// ChargeCompute records executing n instructions and returns the energy
+// spent on it.
+func (a *Account) ChargeCompute(n int64) float64 {
+	e := float64(n) * a.model.PerInstruction
+	a.spent += e
+	a.instrRun += n
+	return e
+}
+
+// Spent returns total energy expended.
+func (a *Account) Spent() float64 { return a.spent }
+
+// BytesTransmitted returns the cumulative transmitted byte count.
+func (a *Account) BytesTransmitted() int { return a.bytesTx }
+
+// InstructionsRun returns the cumulative instruction count.
+func (a *Account) InstructionsRun() int64 { return a.instrRun }
+
+// Remaining returns the remaining battery (and ok=false if unlimited).
+func (a *Account) Remaining() (float64, bool) {
+	if a.battery <= 0 {
+		return 0, false
+	}
+	r := a.battery - a.spent
+	if r < 0 {
+		r = 0
+	}
+	return r, true
+}
+
+// Depleted reports whether a finite battery has been exhausted.
+func (a *Account) Depleted() bool {
+	if a.battery <= 0 {
+		return false
+	}
+	return a.spent >= a.battery
+}
+
+// KFStepInstructions estimates the instruction cost of one Kalman filter
+// predict–correct cycle for an n-state, m-measurement model. Dominated by
+// the n×n matrix multiplies in the covariance update (~2n³) plus the m×m
+// inversion (~m³); the constant reflects multiply-accumulate plus load
+// and store traffic per flop.
+func KFStepInstructions(n, m int) int64 {
+	flops := 4*int64(n)*int64(n)*int64(n) + 2*int64(m)*int64(m)*int64(m) + 8*int64(n)*int64(m)
+	const instrPerFlop = 4
+	return flops * instrPerFlop
+}
+
+// Comparison quantifies the paper's core energy argument for a workload:
+// given total readings, updates actually sent, bytes per update and the
+// per-step filter compute cost, it reports energy under DKF versus under
+// ship-everything.
+type Comparison struct {
+	DKFEnergy     float64
+	ShipAllEnergy float64
+}
+
+// Savings returns 1 - DKF/ShipAll, the fraction of energy saved.
+func (c Comparison) Savings() float64 {
+	if c.ShipAllEnergy == 0 {
+		return 0
+	}
+	return 1 - c.DKFEnergy/c.ShipAllEnergy
+}
+
+// Compare computes the energy comparison for a run.
+func Compare(model EnergyModel, readings, updates, bytesPerUpdate int, kfInstr int64) Comparison {
+	perBit := model.PerBit
+	perInstr := model.PerInstruction
+	dkf := float64(updates*bytesPerUpdate*8)*perBit + float64(readings)*float64(kfInstr)*perInstr
+	ship := float64(readings*bytesPerUpdate*8) * perBit
+	return Comparison{DKFEnergy: dkf, ShipAllEnergy: ship}
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyModelValidate(t *testing.T) {
+	if err := DefaultEnergyModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (EnergyModel{PerInstruction: 0, PerBit: 1}).Validate(); err == nil {
+		t.Fatal("accepted zero instruction cost")
+	}
+	if err := (EnergyModel{PerInstruction: 1, PerBit: 0}).Validate(); err == nil {
+		t.Fatal("accepted zero bit cost")
+	}
+}
+
+func TestRatioInPaperRange(t *testing.T) {
+	r := DefaultEnergyModel().Ratio()
+	if r < 220 || r > 2900 {
+		t.Fatalf("default ratio %v outside the paper's cited 220–2900 range", r)
+	}
+}
+
+func TestAccountCharges(t *testing.T) {
+	a, err := NewAccount(EnergyModel{PerInstruction: 1, PerBit: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := a.ChargeTransmit(2); e != 2*8*10 {
+		t.Fatalf("transmit energy = %v, want 160", e)
+	}
+	if e := a.ChargeCompute(5); e != 5 {
+		t.Fatalf("compute energy = %v, want 5", e)
+	}
+	if a.Spent() != 165 || a.BytesTransmitted() != 2 || a.InstructionsRun() != 5 {
+		t.Fatalf("account state: spent=%v bytes=%d instr=%d", a.Spent(), a.BytesTransmitted(), a.InstructionsRun())
+	}
+	if _, ok := a.Remaining(); ok {
+		t.Fatal("unlimited battery reported a remaining value")
+	}
+	if a.Depleted() {
+		t.Fatal("unlimited battery depleted")
+	}
+}
+
+func TestAccountBattery(t *testing.T) {
+	a, err := NewAccount(EnergyModel{PerInstruction: 1, PerBit: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ChargeTransmit(10) // 80 units
+	if rem, ok := a.Remaining(); !ok || rem != 20 {
+		t.Fatalf("remaining = %v %v, want 20 true", rem, ok)
+	}
+	a.ChargeCompute(50)
+	if !a.Depleted() {
+		t.Fatal("battery not depleted after overspend")
+	}
+	if rem, _ := a.Remaining(); rem != 0 {
+		t.Fatalf("remaining = %v, want clamped to 0", rem)
+	}
+}
+
+func TestNewAccountRejectsBadModel(t *testing.T) {
+	if _, err := NewAccount(EnergyModel{}, 0); err == nil {
+		t.Fatal("accepted invalid model")
+	}
+}
+
+func TestKFStepInstructionsScales(t *testing.T) {
+	small := KFStepInstructions(2, 1)
+	big := KFStepInstructions(4, 2)
+	if small <= 0 || big <= small {
+		t.Fatalf("instruction model not increasing: %d vs %d", small, big)
+	}
+}
+
+func TestCompareSavings(t *testing.T) {
+	// The paper's argument: with transmit costs 1500x compute, sending
+	// 10% of readings must save most of the energy despite per-reading
+	// filter compute.
+	model := DefaultEnergyModel()
+	c := Compare(model, 1000, 100, 32, KFStepInstructions(4, 2))
+	if c.DKFEnergy >= c.ShipAllEnergy {
+		t.Fatalf("DKF energy %v not below ship-all %v", c.DKFEnergy, c.ShipAllEnergy)
+	}
+	if s := c.Savings(); s < 0.5 {
+		t.Fatalf("savings = %v, want > 0.5 at 10%% update rate", s)
+	}
+}
+
+func TestCompareComputeDominatedRegime(t *testing.T) {
+	// If transmitting is as cheap as computing, heavy filtering cannot
+	// save energy — the comparison must reflect that honestly.
+	model := EnergyModel{PerInstruction: 1, PerBit: 1e-9}
+	c := Compare(model, 1000, 100, 32, KFStepInstructions(4, 2))
+	if c.Savings() > 0 {
+		t.Fatalf("savings = %v in compute-dominated regime, want <= 0", c.Savings())
+	}
+}
+
+func TestSavingsZeroDenominator(t *testing.T) {
+	var c Comparison
+	if s := c.Savings(); s != 0 || math.IsNaN(s) {
+		t.Fatalf("Savings on zero ship-all = %v", s)
+	}
+}

@@ -1,0 +1,216 @@
+package synopsis
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"streamkf/internal/model"
+	"streamkf/internal/stream"
+)
+
+// archiveMagic marks a synopsis segment file, versioned.
+var archiveMagic = []byte("SYN1")
+
+// Archive persists synopsis stores on disk, one checksummed file per
+// (source, segment). Segment files are immutable once written; a
+// Writer rotates to a new segment after a fixed number of readings, so
+// an unbounded stream archives as a sequence of bounded, independently
+// reconstructable files.
+type Archive struct {
+	dir string
+}
+
+// OpenArchive opens (creating if needed) an archive rooted at dir.
+func OpenArchive(dir string) (*Archive, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("synopsis: empty archive directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("synopsis: creating archive: %w", err)
+	}
+	return &Archive{dir: dir}, nil
+}
+
+// Dir returns the archive's root directory.
+func (a *Archive) Dir() string { return a.dir }
+
+func (a *Archive) segmentPath(sourceID string, seg int) string {
+	return filepath.Join(a.dir, fmt.Sprintf("%s-%06d.syn", sourceID, seg))
+}
+
+// Save writes one store as segment seg of sourceID. The file layout is
+// magic ∥ crc32(payload) ∥ payload, so corruption is detected on load.
+func (a *Archive) Save(sourceID string, seg int, s *Store) error {
+	if sourceID == "" {
+		return fmt.Errorf("synopsis: empty source id")
+	}
+	if seg < 0 {
+		return fmt.Errorf("synopsis: negative segment %d", seg)
+	}
+	payload, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(archiveMagic)+4+len(payload))
+	buf = append(buf, archiveMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	buf = append(buf, payload...)
+	path := a.segmentPath(sourceID, seg)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("synopsis: writing segment: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("synopsis: publishing segment: %w", err)
+	}
+	return nil
+}
+
+// Load reads segment seg of sourceID, verifying the checksum and
+// resolving the model by name.
+func (a *Archive) Load(sourceID string, seg int, resolve func(string) (model.Model, error)) (*Store, error) {
+	raw, err := os.ReadFile(a.segmentPath(sourceID, seg))
+	if err != nil {
+		return nil, fmt.Errorf("synopsis: reading segment: %w", err)
+	}
+	if len(raw) < len(archiveMagic)+4 {
+		return nil, fmt.Errorf("synopsis: segment %s/%d truncated", sourceID, seg)
+	}
+	if string(raw[:len(archiveMagic)]) != string(archiveMagic) {
+		return nil, fmt.Errorf("synopsis: segment %s/%d has bad magic", sourceID, seg)
+	}
+	want := binary.BigEndian.Uint32(raw[len(archiveMagic):])
+	payload := raw[len(archiveMagic)+4:]
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("synopsis: segment %s/%d checksum mismatch (corrupt)", sourceID, seg)
+	}
+	return Decode(payload, resolve)
+}
+
+// Segments lists the stored segment numbers for sourceID, ascending.
+func (a *Archive) Segments(sourceID string) ([]int, error) {
+	entries, err := os.ReadDir(a.dir)
+	if err != nil {
+		return nil, fmt.Errorf("synopsis: listing archive: %w", err)
+	}
+	var out []int
+	prefix := sourceID + "-"
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".syn" {
+			continue
+		}
+		base := name[:len(name)-len(".syn")]
+		if len(base) <= len(prefix) || base[:len(prefix)] != prefix {
+			continue
+		}
+		var seg int
+		if _, err := fmt.Sscanf(base[len(prefix):], "%d", &seg); err != nil {
+			continue
+		}
+		out = append(out, seg)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// ReconstructAll loads every segment of sourceID in order and
+// concatenates the reconstructed readings.
+func (a *Archive) ReconstructAll(sourceID string, resolve func(string) (model.Model, error)) ([]stream.Reading, error) {
+	segs, err := a.Segments(sourceID)
+	if err != nil {
+		return nil, err
+	}
+	var out []stream.Reading
+	for _, seg := range segs {
+		s, err := a.Load(sourceID, seg, resolve)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := s.Reconstruct()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec...)
+	}
+	return out, nil
+}
+
+// Writer archives a live stream: readings append to an in-memory store
+// that is flushed to disk and rotated every SegmentLen readings.
+type Writer struct {
+	archive  *Archive
+	sourceID string
+	mdl      model.Model
+	tol      float64
+	segLen   int
+
+	cur    *Store
+	seg    int
+	closed bool
+}
+
+// NewWriter returns an archiving writer for sourceID under the given
+// model and reconstruction tolerance, rotating every segLen readings.
+func (a *Archive) NewWriter(sourceID string, m model.Model, tol float64, segLen int) (*Writer, error) {
+	if sourceID == "" {
+		return nil, fmt.Errorf("synopsis: empty source id")
+	}
+	if segLen < 2 {
+		return nil, fmt.Errorf("synopsis: segment length %d, want >= 2", segLen)
+	}
+	// Validate model/tolerance eagerly via a probe store.
+	if _, err := New(m, tol); err != nil {
+		return nil, err
+	}
+	return &Writer{archive: a, sourceID: sourceID, mdl: m, tol: tol, segLen: segLen}, nil
+}
+
+// Append archives one reading, rotating segments as needed.
+func (w *Writer) Append(r stream.Reading) error {
+	if w.closed {
+		return fmt.Errorf("synopsis: writer for %s is closed", w.sourceID)
+	}
+	if w.cur == nil {
+		s, err := New(w.mdl, w.tol)
+		if err != nil {
+			return err
+		}
+		w.cur = s
+	}
+	if err := w.cur.Append(r); err != nil {
+		return err
+	}
+	if w.cur.Len() >= w.segLen {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *Writer) flush() error {
+	if w.cur == nil || w.cur.Len() == 0 {
+		return nil
+	}
+	if err := w.archive.Save(w.sourceID, w.seg, w.cur); err != nil {
+		return err
+	}
+	w.seg++
+	w.cur = nil
+	return nil
+}
+
+// Close flushes any partial segment and seals the writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.flush()
+}
+
+// SegmentsWritten returns how many segments have been flushed.
+func (w *Writer) SegmentsWritten() int { return w.seg }

@@ -1,0 +1,191 @@
+package synopsis
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streamkf/internal/gen"
+	"streamkf/internal/model"
+)
+
+func resolveLinear(string) (model.Model, error) { return linearModel(), nil }
+
+func TestOpenArchiveValidation(t *testing.T) {
+	if _, err := OpenArchive(""); err == nil {
+		t.Fatal("accepted empty dir")
+	}
+	a, err := OpenArchive(filepath.Join(t.TempDir(), "nested", "arch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dir() == "" {
+		t.Fatal("empty Dir()")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a, err := OpenArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := New(linearModel(), 1)
+	if err := s.AppendAll(gen.Ramp(100, 0, 2, 0.05, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Save("sensor", 0, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := a.Load("sensor", 0, resolveLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() || back.Corrections() != s.Corrections() {
+		t.Fatalf("round trip mismatch: %d/%d vs %d/%d", back.Len(), back.Corrections(), s.Len(), s.Corrections())
+	}
+}
+
+func TestSaveValidation(t *testing.T) {
+	a, _ := OpenArchive(t.TempDir())
+	s, _ := New(linearModel(), 1)
+	if err := a.Save("", 0, s); err == nil {
+		t.Fatal("accepted empty source id")
+	}
+	if err := a.Save("x", -1, s); err == nil {
+		t.Fatal("accepted negative segment")
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := OpenArchive(dir)
+	s, _ := New(linearModel(), 1)
+	if err := s.AppendAll(gen.Ramp(50, 0, 1, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Save("sensor", 0, s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sensor-000000.syn")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte.
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Load("sensor", 0, resolveLinear); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted load err = %v, want checksum mismatch", err)
+	}
+	// Truncated and bad-magic files are also rejected.
+	if err := os.WriteFile(path, []byte("SY"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Load("sensor", 0, resolveLinear); err == nil {
+		t.Fatal("loaded truncated file")
+	}
+	if err := os.WriteFile(path, []byte("NOPE12345678"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Load("sensor", 0, resolveLinear); err == nil {
+		t.Fatal("loaded bad-magic file")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	a, _ := OpenArchive(t.TempDir())
+	if _, err := a.Load("ghost", 0, resolveLinear); err == nil {
+		t.Fatal("loaded missing segment")
+	}
+}
+
+func TestWriterRotationAndReconstructAll(t *testing.T) {
+	a, _ := OpenArchive(t.TempDir())
+	w, err := a.NewWriter("sensor", linearModel(), 1.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := gen.Ramp(350, 0, 1.5, 0.1, 3)
+	for _, r := range data {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// 350 readings at 100/segment -> 4 segments (last partial).
+	if w.SegmentsWritten() != 4 {
+		t.Fatalf("segments = %d, want 4", w.SegmentsWritten())
+	}
+	segs, err := a.Segments("sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 4 || segs[0] != 0 || segs[3] != 3 {
+		t.Fatalf("Segments = %v", segs)
+	}
+	rec, err := a.ReconstructAll("sensor", resolveLinear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != len(data) {
+		t.Fatalf("reconstructed %d readings, want %d", len(rec), len(data))
+	}
+	for i := range data {
+		if rec[i].Seq != data[i].Seq {
+			t.Fatalf("seq mismatch at %d: %d vs %d", i, rec[i].Seq, data[i].Seq)
+		}
+		if d := math.Abs(rec[i].Values[0] - data[i].Values[0]); d > 1.5+1e-9 {
+			t.Fatalf("reconstruction error %v at %d exceeds tolerance", d, i)
+		}
+	}
+	// Closed writer refuses appends; double Close is fine.
+	if err := w.Append(data[0]); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewWriterValidation(t *testing.T) {
+	a, _ := OpenArchive(t.TempDir())
+	if _, err := a.NewWriter("", linearModel(), 1, 10); err == nil {
+		t.Fatal("accepted empty source")
+	}
+	if _, err := a.NewWriter("s", linearModel(), 1, 1); err == nil {
+		t.Fatal("accepted segLen 1")
+	}
+	if _, err := a.NewWriter("s", linearModel(), 0, 10); err == nil {
+		t.Fatal("accepted zero tolerance")
+	}
+}
+
+func TestSegmentsIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := OpenArchive(dir)
+	for _, name := range []string{"other-000000.syn", "sensor-notanum.syn", "sensor-000001.txt", "readme.md"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, _ := New(linearModel(), 1)
+	if err := s.AppendAll(gen.Ramp(10, 0, 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Save("sensor", 2, s); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := a.Segments("sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != 2 {
+		t.Fatalf("Segments = %v, want [2]", segs)
+	}
+}

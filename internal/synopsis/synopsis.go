@@ -1,0 +1,222 @@
+// Package synopsis implements the paper's final future-work item:
+// "applications of the Kalman Filter for storing stream summaries under
+// the constraint of specified reconstruction error tolerance".
+//
+// The idea is the storage-side twin of the DKF transmission protocol:
+// instead of storing every reading, store the model plus the bootstrap
+// measurement plus only the corrections a Kalman filter would have needed
+// to stay within the error tolerance. Reconstruction replays the filter
+// deterministically, so every reading is recovered within the tolerance
+// while storage shrinks by the stream's predictability.
+package synopsis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"streamkf/internal/kalman"
+	"streamkf/internal/mat"
+	"streamkf/internal/model"
+	"streamkf/internal/stream"
+)
+
+// Point is one stored correction: the measurement the replaying filter
+// must fold in at sequence Seq.
+type Point struct {
+	Seq    int
+	Values []float64
+}
+
+// Store summarizes one stream under a reconstruction error tolerance.
+// The zero value is not usable; construct with New.
+type Store struct {
+	modelName string
+	mdl       model.Model
+	tol       float64
+
+	bootSeq     int
+	boot        []float64
+	corrections []Point
+	lastSeq     int
+	n           int // readings appended
+
+	filter *kalman.Filter // append-time filter (mirrors the replay)
+}
+
+// New returns an empty store summarizing under model m with per-attribute
+// reconstruction tolerance tol.
+func New(m model.Model, tol float64) (*Store, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("synopsis: %w", err)
+	}
+	if tol <= 0 {
+		return nil, fmt.Errorf("synopsis: tolerance = %v, want > 0", tol)
+	}
+	return &Store{modelName: m.Name, mdl: m, tol: tol}, nil
+}
+
+// Append folds one reading into the summary. Readings must arrive with
+// strictly increasing, consecutive sequence numbers.
+func (s *Store) Append(r stream.Reading) error {
+	if len(r.Values) != s.mdl.MeasDim {
+		return fmt.Errorf("synopsis: reading has %d values, model wants %d", len(r.Values), s.mdl.MeasDim)
+	}
+	if s.filter == nil {
+		f, err := s.mdl.NewFilter(r.Values)
+		if err != nil {
+			return err
+		}
+		s.filter = f
+		s.bootSeq = r.Seq
+		s.boot = cloneVals(r.Values)
+		s.lastSeq = r.Seq
+		s.n = 1
+		return nil
+	}
+	if r.Seq != s.lastSeq+1 {
+		return fmt.Errorf("synopsis: non-consecutive seq %d after %d", r.Seq, s.lastSeq)
+	}
+	s.filter.Predict()
+	pred := s.filter.PredictedMeasurement().VecSlice()
+	if !stream.WithinPrecision(pred, r.Values, s.tol) {
+		if err := s.filter.Correct(mat.Vec(r.Values...)); err != nil {
+			return err
+		}
+		s.corrections = append(s.corrections, Point{Seq: r.Seq, Values: cloneVals(r.Values)})
+	}
+	s.lastSeq = r.Seq
+	s.n++
+	return nil
+}
+
+// AppendAll folds in a whole dataset.
+func (s *Store) AppendAll(readings []stream.Reading) error {
+	for _, r := range readings {
+		if err := s.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of readings summarized.
+func (s *Store) Len() int { return s.n }
+
+// Corrections returns how many readings had to be stored verbatim
+// (excluding the bootstrap).
+func (s *Store) Corrections() int { return len(s.corrections) }
+
+// Tolerance returns the reconstruction tolerance.
+func (s *Store) Tolerance() float64 { return s.tol }
+
+// CompressionRatio returns stored points (bootstrap + corrections)
+// divided by total readings — lower is better.
+func (s *Store) CompressionRatio() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(1+len(s.corrections)) / float64(s.n)
+}
+
+// Reconstruct replays the summary into the full reading sequence. Every
+// value is within Tolerance of the original per attribute.
+func (s *Store) Reconstruct() ([]stream.Reading, error) {
+	if s.n == 0 {
+		return nil, nil
+	}
+	f, err := s.mdl.NewFilter(s.boot)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]stream.Reading, 0, s.n)
+	out = append(out, stream.Reading{Seq: s.bootSeq, Values: cloneVals(s.boot)})
+	ci := 0
+	for seq := s.bootSeq + 1; seq <= s.lastSeq; seq++ {
+		f.Predict()
+		if ci < len(s.corrections) && s.corrections[ci].Seq == seq {
+			// A corrected step stored the exact measurement: emit it
+			// verbatim (zero error) while the filter folds it in for the
+			// following predictions. Suppressed steps emit the filter's
+			// prediction, which the append-time check bounded by the
+			// tolerance.
+			if err := f.Correct(mat.Vec(s.corrections[ci].Values...)); err != nil {
+				return nil, err
+			}
+			out = append(out, stream.Reading{Seq: seq, Values: cloneVals(s.corrections[ci].Values)})
+			ci++
+			continue
+		}
+		out = append(out, stream.Reading{Seq: seq, Values: f.PredictedMeasurement().VecSlice()})
+	}
+	return out, nil
+}
+
+// encoded is the gob wire shape of a Store.
+type encoded struct {
+	ModelName   string
+	Tol         float64
+	BootSeq     int
+	Boot        []float64
+	Corrections []Point
+	LastSeq     int
+	N           int
+}
+
+// Encode serializes the summary (model referenced by name; decoding
+// resolves it from a caller-provided registry, keeping matrices off the
+// wire exactly like the DSMS install handshake).
+func (s *Store) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(encoded{
+		ModelName:   s.modelName,
+		Tol:         s.tol,
+		BootSeq:     s.bootSeq,
+		Boot:        s.boot,
+		Corrections: s.corrections,
+		LastSeq:     s.lastSeq,
+		N:           s.n,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("synopsis: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reconstructs a summary from Encode output, resolving the model
+// by name.
+func Decode(data []byte, resolve func(name string) (model.Model, error)) (*Store, error) {
+	var e encoded
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("synopsis: decode: %w", err)
+	}
+	m, err := resolve(e.ModelName)
+	if err != nil {
+		return nil, err
+	}
+	s, err := New(m, e.Tol)
+	if err != nil {
+		return nil, err
+	}
+	s.bootSeq = e.BootSeq
+	s.boot = e.Boot
+	s.corrections = e.Corrections
+	s.lastSeq = e.LastSeq
+	s.n = e.N
+	return s, nil
+}
+
+// SizeBytes returns the encoded summary size.
+func (s *Store) SizeBytes() (int, error) {
+	b, err := s.Encode()
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+func cloneVals(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
