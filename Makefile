@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race vet bench check baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Hot-path microbenchmarks: per-reading filter cost and parallel ingest.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFilterStep|BenchmarkServerIngestParallel|BenchmarkDKFStepLinear2D' -benchmem ./
+
+# Full benchmark sweep regenerating every figure/table artefact.
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+check: build vet test race
+
+# Re-measure the BENCH_BASELINE.json benchmarks on the current tree
+# (see DESIGN.md §7; numbers are machine-dependent).
+baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkFilterStep|BenchmarkServerIngestParallel|BenchmarkDKFStepLinear2D' -benchmem -count 1 ./ | tee /tmp/bench.out

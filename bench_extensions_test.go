@@ -14,6 +14,7 @@ import (
 )
 
 func BenchmarkExtensionAdaptiveSampling(b *testing.B) {
+	b.ReportAllocs()
 	data := gen.MovingObject(gen.DefaultMovingObject())
 	cfg := core.Config{SourceID: "obj", Model: mustModel(), Delta: 3}
 	var m core.SampledMetrics
@@ -38,6 +39,7 @@ func BenchmarkExtensionAdaptiveSampling(b *testing.B) {
 func mustModel() streamkf.Model { return streamkf.LinearModel(2, 0.1, 0.05, 0.05) }
 
 func BenchmarkExtensionModelSwitching(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AdaptSummary(); err != nil {
 			b.Fatal(err)
@@ -64,6 +66,7 @@ func BenchmarkExtensionSynopsisStore(b *testing.B) {
 }
 
 func BenchmarkExtensionLossyRetry(b *testing.B) {
+	b.ReportAllocs()
 	data := gen.RandomWalk(2000, 0, 3, 5)
 	cfg := core.Config{SourceID: "s", Model: streamkf.LinearModel(1, 1, 0.05, 0.05), Delta: 2}
 	for i := 0; i < b.N; i++ {
@@ -84,6 +87,7 @@ func BenchmarkExtensionLossyRetry(b *testing.B) {
 }
 
 func BenchmarkDSMSInProcessPipeline(b *testing.B) {
+	b.ReportAllocs()
 	data := gen.Ramp(1000, 0, 1.5, 0.05, 13)
 	for i := 0; i < b.N; i++ {
 		catalog := streamkf.DefaultCatalog(1)

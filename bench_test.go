@@ -8,7 +8,10 @@
 package streamkf_test
 
 import (
+	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"streamkf"
@@ -67,6 +70,7 @@ func BenchmarkFig4Example1Updates(b *testing.B) {
 	data := gen.MovingObject(gen.DefaultMovingObject())
 	const delta = 3
 	b.Run("caching", func(b *testing.B) {
+		b.ReportAllocs()
 		var m baseline.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runCacheBench(b, 2*delta, 2, data)
@@ -74,6 +78,7 @@ func BenchmarkFig4Example1Updates(b *testing.B) {
 		b.ReportMetric(m.PercentUpdates(), "%updates")
 	})
 	b.Run("constantKF", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, model.Constant(2, 0.05, 0.05), delta, 0, data)
@@ -81,6 +86,7 @@ func BenchmarkFig4Example1Updates(b *testing.B) {
 		b.ReportMetric(m.PercentUpdates(), "%updates")
 	})
 	b.Run("linearKF", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, model.Linear(2, 0.1, 0.05, 0.05), delta, 0, data)
@@ -93,6 +99,7 @@ func BenchmarkFig5Example1AvgError(b *testing.B) {
 	data := gen.MovingObject(gen.DefaultMovingObject())
 	const delta = 3
 	b.Run("caching", func(b *testing.B) {
+		b.ReportAllocs()
 		var m baseline.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runCacheBench(b, 2*delta, 2, data)
@@ -100,6 +107,7 @@ func BenchmarkFig5Example1AvgError(b *testing.B) {
 		b.ReportMetric(m.AvgErr(), "avgErr")
 	})
 	b.Run("constantKF", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, model.Constant(2, 0.05, 0.05), delta, 0, data)
@@ -107,6 +115,7 @@ func BenchmarkFig5Example1AvgError(b *testing.B) {
 		b.ReportMetric(m.AvgErr(), "avgErr")
 	})
 	b.Run("linearKF", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, model.Linear(2, 0.1, 0.05, 0.05), delta, 0, data)
@@ -139,6 +148,7 @@ func BenchmarkFig7Example2Updates(b *testing.B) {
 	data := gen.PowerLoad(gen.DefaultPowerLoad())
 	const delta = 50
 	b.Run("caching", func(b *testing.B) {
+		b.ReportAllocs()
 		var m baseline.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runCacheBench(b, 2*delta, 1, data)
@@ -146,6 +156,7 @@ func BenchmarkFig7Example2Updates(b *testing.B) {
 		b.ReportMetric(m.PercentUpdates(), "%updates")
 	})
 	b.Run("linearKF", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, model.Linear(1, 1, 0.05, 0.05), delta, 0, data)
@@ -153,6 +164,7 @@ func BenchmarkFig7Example2Updates(b *testing.B) {
 		b.ReportMetric(m.PercentUpdates(), "%updates")
 	})
 	b.Run("sinusoidalKF", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, example2SinusoidalModel(), delta, 0, data)
@@ -165,6 +177,7 @@ func BenchmarkFig8Example2AvgError(b *testing.B) {
 	data := gen.PowerLoad(gen.DefaultPowerLoad())
 	const delta = 50
 	b.Run("caching", func(b *testing.B) {
+		b.ReportAllocs()
 		var m baseline.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runCacheBench(b, 2*delta, 1, data)
@@ -172,6 +185,7 @@ func BenchmarkFig8Example2AvgError(b *testing.B) {
 		b.ReportMetric(m.AvgErr(), "avgErr")
 	})
 	b.Run("linearKF", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, model.Linear(1, 1, 0.05, 0.05), delta, 0, data)
@@ -179,6 +193,7 @@ func BenchmarkFig8Example2AvgError(b *testing.B) {
 		b.ReportMetric(m.AvgErr(), "avgErr")
 	})
 	b.Run("sinusoidalKF", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, example2SinusoidalModel(), delta, 0, data)
@@ -251,6 +266,7 @@ func BenchmarkFig11SmoothedDKFUpdates(b *testing.B) {
 	data := gen.HTTPTraffic(gen.DefaultHTTPTraffic())
 	const delta = 10
 	b.Run("constantKF", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, model.Constant(1, 0.05, 0.05), delta, 1e-7, data)
@@ -258,6 +274,7 @@ func BenchmarkFig11SmoothedDKFUpdates(b *testing.B) {
 		b.ReportMetric(m.PercentUpdates(), "%updates")
 	})
 	b.Run("linearKF", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, model.Linear(1, 1, 0.05, 0.05), delta, 1e-7, data)
@@ -273,6 +290,7 @@ func BenchmarkFig12SmoothingFactorSweep(b *testing.B) {
 	for _, f := range []float64{1e-9, 1e-5, 1e-1} {
 		f := f
 		b.Run(fmtF(f), func(b *testing.B) {
+			b.ReportAllocs()
 			var m core.Metrics
 			for i := 0; i < b.N; i++ {
 				m = runSession(b, model.Constant(1, 0.05, 0.05), 10, f, data)
@@ -296,6 +314,7 @@ func fmtF(f float64) string {
 // --- Table 1: quantified behavioural comparison ---
 
 func BenchmarkTable1Comparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table1Summary(); err != nil {
 			b.Fatal(err)
@@ -312,8 +331,8 @@ func BenchmarkAblationSteadyState(b *testing.B) {
 	r := mat.Diag(0.05)
 	z := mat.Vec(1)
 	b.Run("dynamic", func(b *testing.B) {
-		f := kalman.MustNew(kalman.Config{Phi: kalman.Static(phi), H: h, Q: q, R: r, X0: mat.Vec(0, 0)})
 		b.ReportAllocs()
+		f := kalman.MustNew(kalman.Config{Phi: kalman.Static(phi), H: h, Q: q, R: r, X0: mat.Vec(0, 0)})
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if err := f.Step(z); err != nil {
@@ -322,11 +341,11 @@ func BenchmarkAblationSteadyState(b *testing.B) {
 		}
 	})
 	b.Run("steadyState", func(b *testing.B) {
+		b.ReportAllocs()
 		f, err := kalman.NewStatic(phi, h, q, r, mat.Vec(0, 0))
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			f.Predict()
@@ -338,6 +357,7 @@ func BenchmarkAblationSteadyState(b *testing.B) {
 // --- Ablation: correcting the mirror on every reading breaks synchrony ---
 
 func BenchmarkAblationCorrectAlways(b *testing.B) {
+	b.ReportAllocs()
 	data := gen.MovingObject(gen.DefaultMovingObject())
 	m := model.Linear(2, 0.1, 0.05, 0.05)
 	const delta = 3.0
@@ -382,6 +402,7 @@ func BenchmarkAblationNormTest(b *testing.B) {
 	m := model.Linear(2, 0.1, 0.05, 0.05)
 	const delta = 3.0
 	b.Run("maxAbs", func(b *testing.B) {
+		b.ReportAllocs()
 		var metrics core.Metrics
 		for i := 0; i < b.N; i++ {
 			metrics = runSession(b, m, delta, 0, data)
@@ -389,6 +410,7 @@ func BenchmarkAblationNormTest(b *testing.B) {
 		b.ReportMetric(metrics.PercentUpdates(), "%updates")
 	})
 	b.Run("l2norm", func(b *testing.B) {
+		b.ReportAllocs()
 		var pct float64
 		for i := 0; i < b.N; i++ {
 			f, err := m.NewFilter(data[0].Values)
@@ -422,6 +444,7 @@ func BenchmarkAblationNormTest(b *testing.B) {
 func BenchmarkAblationSmoothing(b *testing.B) {
 	data := gen.HTTPTraffic(gen.DefaultHTTPTraffic())
 	b.Run("raw", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, model.Linear(1, 1, 0.05, 0.05), 10, 0, data)
@@ -429,6 +452,7 @@ func BenchmarkAblationSmoothing(b *testing.B) {
 		b.ReportMetric(m.PercentUpdates(), "%updates")
 	})
 	b.Run("smoothed", func(b *testing.B) {
+		b.ReportAllocs()
 		var m core.Metrics
 		for i := 0; i < b.N; i++ {
 			m = runSession(b, model.Linear(1, 1, 0.05, 0.05), 10, 1e-7, data)
@@ -458,6 +482,77 @@ func BenchmarkDKFStepLinear2D(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFilterStep measures the raw per-reading Predict+Correct cost
+// for the paper's model sizes: the scalar constant model (n=1, m=1), the
+// 1-D linear model (n=2, m=1), and the 2-D linear tracking model of
+// Example 1 (n=4, m=2). Steady state must report 0 allocs/op.
+func BenchmarkFilterStep(b *testing.B) {
+	cases := []struct {
+		name string
+		m    model.Model
+		z    []float64
+	}{
+		{"scalar", model.Constant(1, 0.05, 0.05), []float64{1.5}},
+		{"linear1d", model.Linear(1, 1, 0.05, 0.05), []float64{1.5}},
+		{"linear2d", model.Linear(2, 0.1, 0.05, 0.05), []float64{1.5, -0.5}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			f, err := tc.m.NewFilter(tc.z)
+			if err != nil {
+				b.Fatal(err)
+			}
+			z := mat.Vec(tc.z...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Step(z); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerIngestParallel measures the DSMS server's update-ingest
+// throughput when every core feeds its own stream: one source per
+// GOMAXPROCS goroutine, each goroutine hammering HandleUpdate for its
+// source. With a global server lock this cannot scale past one core;
+// with per-stream locking it should.
+func BenchmarkServerIngestParallel(b *testing.B) {
+	nSrc := runtime.GOMAXPROCS(0)
+	catalog := streamkf.DefaultCatalog(1)
+	server := streamkf.NewDSMSServer(catalog)
+	for i := 0; i < nSrc; i++ {
+		src := fmt.Sprintf("s%d", i)
+		if err := server.Register(stream.Query{ID: "q" + src, SourceID: src, Delta: 1e-9, Model: "linear"}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := server.InstallFor(src); err != nil {
+			b.Fatal(err)
+		}
+		if err := server.HandleUpdate(core.Update{SourceID: src, Seq: 0, Values: []float64{0}, Bootstrap: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var nextSrc atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		src := fmt.Sprintf("s%d", int(nextSrc.Add(1)-1)%nSrc)
+		seq := 1
+		vals := []float64{0}
+		for pb.Next() {
+			vals[0] = float64(seq)
+			if err := server.HandleUpdate(core.Update{SourceID: src, Seq: seq, Values: vals}); err != nil {
+				b.Fatal(err)
+			}
+			seq++
+		}
+	})
 }
 
 func BenchmarkCacheStep(b *testing.B) {

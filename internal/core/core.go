@@ -123,6 +123,16 @@ type SourceNode struct {
 	smoothers []*kalman.Filter // KFc bank, one per attribute, optional
 	outliers  int              // consecutive rejected readings
 	stats     SourceStats
+
+	// Reusable buffers for the per-reading hot path. zbuf carries the
+	// measurement into NIS/Correct; predBuf receives H x. Slices handed
+	// back to callers are always freshly allocated — only the matrix
+	// intermediates are recycled.
+	zbuf       *mat.Matrix
+	predBuf    *mat.Matrix
+	smoothBuf  []float64
+	smoothZ    *mat.Matrix // 1 x 1 measurement for the KFc bank
+	smoothPred *mat.Matrix // 1 x 1 prediction from the KFc bank
 }
 
 // SourceStats counts source-side protocol events.
@@ -145,7 +155,8 @@ func NewSourceNode(cfg Config) (*SourceNode, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
-	return &SourceNode{cfg: cfg}, nil
+	m := cfg.Model.MeasDim
+	return &SourceNode{cfg: cfg, zbuf: mat.New(m, 1), predBuf: mat.New(m, 1)}, nil
 }
 
 // smooth returns the measurement KFm tracks for the raw reading values:
@@ -168,14 +179,20 @@ func (s *SourceNode) smooth(raw []float64) ([]float64, error) {
 		}
 		return clone(raw), nil
 	}
-	out := make([]float64, len(raw))
+	if s.smoothBuf == nil {
+		s.smoothBuf = make([]float64, len(raw))
+		s.smoothZ = mat.New(1, 1)
+		s.smoothPred = mat.New(1, 1)
+	}
+	out := s.smoothBuf
 	for i, v := range raw {
 		f := s.smoothers[i]
 		f.Predict()
-		if err := f.Correct(vec([]float64{v})); err != nil {
+		s.smoothZ.Set(0, 0, v)
+		if err := f.Correct(s.smoothZ); err != nil {
 			return nil, err
 		}
-		out[i] = f.PredictedMeasurement().At(0, 0)
+		out[i] = f.PredictedMeasurementInto(s.smoothPred).At(0, 0)
 	}
 	return out, nil
 }
@@ -213,11 +230,11 @@ func (s *SourceNode) Process(r stream.Reading) (*Update, []float64, error) {
 		u := &Update{SourceID: s.cfg.SourceID, Seq: r.Seq, Time: r.Time, Values: clone(v), Bootstrap: true}
 		s.stats.Updates++
 		s.stats.BytesSent += u.WireBytes()
-		return u, s.mirror.PredictedMeasurement().VecSlice(), nil
+		return u, s.mirror.PredictedMeasurementInto(s.predBuf).VecSlice(), nil
 	}
 
 	s.mirror.Predict()
-	pred := s.mirror.PredictedMeasurement().VecSlice()
+	pred := s.mirror.PredictedMeasurementInto(s.predBuf).VecSlice()
 
 	if stream.WithinPrecision(pred, v, s.cfg.Delta) {
 		// The server's prediction is good enough: suppress.
@@ -226,8 +243,9 @@ func (s *SourceNode) Process(r stream.Reading) (*Update, []float64, error) {
 		return nil, pred, nil
 	}
 
+	z := vecInto(s.zbuf, v)
 	if s.cfg.OutlierNIS > 0 && s.outliers < s.cfg.MaxConsecutiveOutliers {
-		nis, err := s.mirror.NIS(vec(v))
+		nis, err := s.mirror.NIS(z)
 		if err == nil && nis > s.cfg.OutlierNIS {
 			// Glitch: reject without transmitting. The mirror keeps its
 			// prediction, exactly as the server will, so synchrony holds.
@@ -238,13 +256,13 @@ func (s *SourceNode) Process(r stream.Reading) (*Update, []float64, error) {
 	}
 	s.outliers = 0
 
-	if err := s.mirror.Correct(vec(v)); err != nil {
+	if err := s.mirror.Correct(z); err != nil {
 		return nil, nil, err
 	}
 	u := &Update{SourceID: s.cfg.SourceID, Seq: r.Seq, Time: r.Time, Values: clone(v)}
 	s.stats.Updates++
 	s.stats.BytesSent += u.WireBytes()
-	return u, s.mirror.PredictedMeasurement().VecSlice(), nil
+	return u, s.mirror.PredictedMeasurementInto(s.predBuf).VecSlice(), nil
 }
 
 // Stats returns the source-side counters.
@@ -268,6 +286,9 @@ type ServerNode struct {
 	filter  *kalman.Filter // KFs
 	ticks   int
 	lastSeq int
+
+	zbuf    *mat.Matrix // reusable measurement buffer for ApplyUpdate
+	predBuf *mat.Matrix // reusable H x buffer for Estimate
 }
 
 // NewServerNode constructs the server side of a DKF pair.
@@ -276,7 +297,8 @@ func NewServerNode(cfg Config) (*ServerNode, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
-	return &ServerNode{cfg: cfg}, nil
+	m := cfg.Model.MeasDim
+	return &ServerNode{cfg: cfg, zbuf: mat.New(m, 1), predBuf: mat.New(m, 1)}, nil
 }
 
 // Tick advances the server's prediction by one time step on which no
@@ -333,7 +355,15 @@ func (s *ServerNode) ApplyUpdate(u Update) error {
 	// u.Seq; in that case the server has performed precisely the same
 	// number of predicts as the mirror and the correction aligns.
 	s.AdvanceTo(u.Seq)
-	return s.filter.Correct(vec(u.Values))
+	z := s.zbuf
+	if len(u.Values) == z.Rows() {
+		vecInto(z, u.Values)
+	} else {
+		// Malformed update: hand the filter a fresh vector so it reports
+		// the dimension error itself, as it always has.
+		z = vec(u.Values)
+	}
+	return s.filter.Correct(z)
 }
 
 // Estimate returns the server's current answer for the stream value, or
@@ -342,7 +372,7 @@ func (s *ServerNode) Estimate() (values []float64, ok bool) {
 	if s.filter == nil {
 		return nil, false
 	}
-	return s.filter.PredictedMeasurement().VecSlice(), true
+	return s.filter.PredictedMeasurementInto(s.predBuf).VecSlice(), true
 }
 
 // Filter exposes KFs for invariant checks and diagnostics; nil before
@@ -356,3 +386,12 @@ func clone(v []float64) []float64 {
 }
 
 func vec(v []float64) *mat.Matrix { return mat.Vec(v...) }
+
+// vecInto copies v into the reusable column buffer buf (len(v) must equal
+// buf.Rows()) and returns buf.
+func vecInto(buf *mat.Matrix, v []float64) *mat.Matrix {
+	for i, x := range v {
+		buf.Set(i, 0, x)
+	}
+	return buf
+}

@@ -166,6 +166,7 @@ func (s *Server) RegisterAggregate(q AggregateQuery) error {
 func (s *Server) dropQuery(queryID string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	delete(s.byQuery, queryID)
 	for srcID, st := range s.sources {
 		for i, q := range st.queries {
 			if q.ID == queryID {

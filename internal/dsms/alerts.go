@@ -130,8 +130,8 @@ func (s *Server) querySources(queryID string) ([]string, error) {
 		return q.SourceIDs, nil
 	}
 	s.aggMu.Unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for srcID, st := range s.sources {
 		for _, q := range st.queries {
 			if q.ID == queryID {

@@ -14,8 +14,10 @@ package dsms
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"streamkf/internal/core"
 	"streamkf/internal/model"
@@ -87,10 +89,19 @@ func (c *Catalog) Names() []string {
 }
 
 // sourceState is the server's bookkeeping for one source object.
+//
+// Topology fields (id, queries, cfg) are guarded by the server's mu;
+// runtime fields (everything below the mutex) are guarded by the
+// per-source mu, so ingest and queries on different sources never
+// contend. The locking order is Server.mu before sourceState.mu, and
+// Server.mu is never acquired while holding a sourceState.mu.
 type sourceState struct {
-	node    *core.ServerNode
+	id      string
 	cfg     core.Config
 	queries []stream.Query
+
+	mu      sync.Mutex
+	node    *core.ServerNode
 	updates int
 	bytes   int
 	history *synopsis.Store // optional historical-query recorder
@@ -98,11 +109,19 @@ type sourceState struct {
 }
 
 // Server is the central DSMS node.
+//
+// mu is a read-write lock over the topology only: the source map, the
+// byQuery index, and each source's registered queries and shared filter
+// configuration. The streaming hot path (HandleUpdate, Answer) takes it
+// in read mode and then locks just the one source it touches, so
+// concurrent ingest and queries on different streams proceed in
+// parallel; registration-time calls take it in write mode.
 type Server struct {
 	catalog *Catalog
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	sources map[string]*sourceState
+	byQuery map[string]*sourceState // query id -> owning source
 
 	aggMu     sync.Mutex
 	aggregate map[string]AggregateQuery
@@ -122,7 +141,20 @@ type Server struct {
 
 // NewServer returns a server resolving models from catalog.
 func NewServer(catalog *Catalog) *Server {
-	return &Server{catalog: catalog, sources: make(map[string]*sourceState)}
+	return &Server{
+		catalog: catalog,
+		sources: make(map[string]*sourceState),
+		byQuery: make(map[string]*sourceState),
+	}
+}
+
+// lookupQuery resolves a query id to its owning source under the
+// topology read-lock.
+func (s *Server) lookupQuery(queryID string) (*sourceState, bool) {
+	s.mu.RLock()
+	st, ok := s.byQuery[queryID]
+	s.mu.RUnlock()
+	return st, ok
 }
 
 // Register installs a continuous query. Multiple queries over the same
@@ -144,10 +176,13 @@ func (s *Server) Register(q stream.Query) error {
 	defer s.mu.Unlock()
 	st := s.sources[q.SourceID]
 	if st == nil {
-		st = &sourceState{}
+		st = &sourceState{id: q.SourceID}
 		s.sources[q.SourceID] = st
 	}
-	if st.node != nil {
+	st.mu.Lock()
+	streaming := st.node != nil
+	st.mu.Unlock()
+	if streaming {
 		return fmt.Errorf("dsms: source %s already streaming; cannot register %s", q.SourceID, q.ID)
 	}
 	for _, existing := range st.queries {
@@ -173,9 +208,11 @@ func (s *Server) Register(q stream.Query) error {
 		if q.F > 0 && (st.cfg.F == 0 || q.F < st.cfg.F) {
 			st.cfg.F = q.F
 		}
+		s.byQuery[q.ID] = st
 		return nil
 	}
 	st.cfg = cfg
+	s.byQuery[q.ID] = st
 	return nil
 }
 
@@ -183,44 +220,57 @@ func (s *Server) Register(q stream.Query) error {
 // must run — the handshake payload. It errors when no query targets the
 // source.
 func (s *Server) InstallFor(sourceID string) (core.Config, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	st := s.sources[sourceID]
-	if st == nil || len(st.queries) == 0 {
+	var cfg core.Config
+	if st != nil && len(st.queries) > 0 {
+		cfg = st.cfg
+	}
+	s.mu.RUnlock()
+	if st == nil || cfg.SourceID == "" {
 		return core.Config{}, fmt.Errorf("dsms: no query registered for source %s", sourceID)
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.node == nil {
-		node, err := core.NewServerNode(st.cfg)
+		node, err := core.NewServerNode(cfg)
 		if err != nil {
 			return core.Config{}, err
 		}
 		st.node = node
 	}
-	return st.cfg, nil
+	return cfg, nil
 }
 
 // HandleUpdate folds one transmitted update into the source's server
-// filter, then evaluates any alerts watching that source (outside the
-// server lock, since alert evaluation re-enters Answer).
+// filter, then evaluates any alerts watching that source (outside all
+// locks, since alert evaluation re-enters Answer). Only the one source's
+// runtime lock is held while the filter steps, so updates from different
+// sources fold in concurrently.
 func (s *Server) HandleUpdate(u core.Update) error {
-	s.mu.Lock()
+	s.mu.RLock()
 	st := s.sources[u.SourceID]
-	if st == nil || st.node == nil {
-		s.mu.Unlock()
+	s.mu.RUnlock()
+	if st == nil {
+		return fmt.Errorf("dsms: update for uninstalled source %s", u.SourceID)
+	}
+	st.mu.Lock()
+	if st.node == nil {
+		st.mu.Unlock()
 		return fmt.Errorf("dsms: update for uninstalled source %s", u.SourceID)
 	}
 	if err := st.node.ApplyUpdate(u); err != nil {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return err
 	}
 	if err := st.recordHistory(u.Seq, u.Values, u.Bootstrap); err != nil {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return fmt.Errorf("dsms: recording history for %s: %w", u.SourceID, err)
 	}
 	st.times.observe(u.Seq, u.Time)
 	st.updates++
 	st.bytes += u.WireBytes()
-	s.mu.Unlock()
+	st.mu.Unlock()
 	s.checkAlerts(u.SourceID, u.Seq)
 	s.notifySubscribers(u.SourceID, u.Seq)
 	return nil
@@ -228,34 +278,80 @@ func (s *Server) HandleUpdate(u core.Update) error {
 
 // Answer evaluates the named query at reading index seq: it advances the
 // source's filter prediction to seq and returns the predicted values.
+// Only the owning source's runtime lock is taken, so queries over
+// different streams evaluate in parallel.
 func (s *Server) Answer(queryID string, seq int) ([]float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, st := range s.sources {
-		for _, q := range st.queries {
-			if q.ID != queryID {
-				continue
-			}
-			if st.node == nil {
-				return nil, fmt.Errorf("dsms: source %s not yet streaming", q.SourceID)
-			}
-			if seq > st.node.Seq() {
-				st.node.AdvanceTo(seq)
-			}
-			vals, ok := st.node.Estimate()
-			if !ok {
-				return nil, fmt.Errorf("dsms: source %s has no bootstrap yet", q.SourceID)
-			}
-			return vals, nil
-		}
+	st, ok := s.lookupQuery(queryID)
+	if !ok {
+		return nil, fmt.Errorf("dsms: unknown query %s", queryID)
 	}
-	return nil, fmt.Errorf("dsms: unknown query %s", queryID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.node == nil {
+		return nil, fmt.Errorf("dsms: source %s not yet streaming", st.id)
+	}
+	if seq > st.node.Seq() {
+		st.node.AdvanceTo(seq)
+	}
+	vals, ok := st.node.Estimate()
+	if !ok {
+		return nil, fmt.Errorf("dsms: source %s has no bootstrap yet", st.id)
+	}
+	return vals, nil
+}
+
+// StepAll advances every streaming source's prediction to reading index
+// seq, fanning the per-stream filter steps over a bounded worker pool.
+// This is the batch path for a central clock tick: instead of paying one
+// Answer round-trip per stream, the server brings all filters forward in
+// parallel. workers <= 0 uses GOMAXPROCS. It returns the number of
+// sources whose prediction actually advanced; sources without a
+// bootstrap yet, or already at or past seq, are skipped.
+func (s *Server) StepAll(seq, workers int) int {
+	s.mu.RLock()
+	batch := make([]*sourceState, 0, len(s.sources))
+	for _, st := range s.sources {
+		batch = append(batch, st)
+	}
+	s.mu.RUnlock()
+	if len(batch) == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	var advanced atomic.Int64
+	work := make(chan *sourceState)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for st := range work {
+				st.mu.Lock()
+				if st.node != nil && st.node.Seq() < seq {
+					st.node.AdvanceTo(seq)
+					advanced.Add(1)
+				}
+				st.mu.Unlock()
+			}
+		}()
+	}
+	for _, st := range batch {
+		work <- st
+	}
+	close(work)
+	wg.Wait()
+	return int(advanced.Load())
 }
 
 // SourceIDs returns the registered source ids, sorted.
 func (s *Server) SourceIDs() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.sources))
 	for id := range s.sources {
 		out = append(out, id)
@@ -273,16 +369,23 @@ type Stats struct {
 	Seq      int
 }
 
-// Stats returns per-source statistics, sorted by source id.
+// Stats returns per-source statistics, sorted by source id. Counters for
+// each source are read under its runtime lock, so the snapshot of any one
+// source is consistent (the set of sources is fixed under the topology
+// read-lock, but sources keep streaming while others are read).
 func (s *Server) Stats() []Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]Stats, 0, len(s.sources))
 	for id, st := range s.sources {
-		stat := Stats{SourceID: id, Queries: len(st.queries), Updates: st.updates, Bytes: st.bytes}
+		stat := Stats{SourceID: id, Queries: len(st.queries)}
+		st.mu.Lock()
+		stat.Updates = st.updates
+		stat.Bytes = st.bytes
 		if st.node != nil {
 			stat.Seq = st.node.Seq()
 		}
+		st.mu.Unlock()
 		out = append(out, stat)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].SourceID < out[j].SourceID })

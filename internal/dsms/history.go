@@ -23,6 +23,8 @@ func (s *Server) EnableHistory(sourceID string) error {
 	if st == nil || len(st.queries) == 0 {
 		return fmt.Errorf("dsms: no query registered for source %s", sourceID)
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.node != nil {
 		return fmt.Errorf("dsms: source %s already streaming; enable history before the bootstrap", sourceID)
 	}
@@ -38,7 +40,7 @@ func (s *Server) EnableHistory(sourceID string) error {
 }
 
 // recordHistory folds an update into the source's history store, if
-// enabled. Called with the server lock held.
+// enabled. Called with the source's runtime lock held.
 func (st *sourceState) recordHistory(seq int, values []float64, bootstrap bool) error {
 	if st.history == nil {
 		return nil
@@ -55,60 +57,57 @@ func (st *sourceState) recordHistory(seq int, values []float64, bootstrap bool) 
 // source value); update steps return the transmitted measurement
 // exactly.
 func (s *Server) AnswerAt(queryID string, seq int) ([]float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, st := range s.sources {
-		for _, q := range st.queries {
-			if q.ID != queryID {
-				continue
-			}
-			if st.history == nil {
-				return nil, fmt.Errorf("dsms: history not enabled for source %s", q.SourceID)
-			}
-			// Sequence numbers beyond the last update are the same
-			// extrapolation the live node performs: extend the log's
-			// prediction out to the asked-for step.
-			if seq > st.history.LastSeq() {
-				if err := st.history.ExtendTo(seq); err != nil {
-					return nil, err
-				}
-			}
-			return st.history.At(seq)
+	st, ok := s.lookupQuery(queryID)
+	if !ok {
+		return nil, fmt.Errorf("dsms: unknown query %s", queryID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.history == nil {
+		return nil, fmt.Errorf("dsms: history not enabled for source %s", st.id)
+	}
+	// Sequence numbers beyond the last update are the same
+	// extrapolation the live node performs: extend the log's
+	// prediction out to the asked-for step.
+	if seq > st.history.LastSeq() {
+		if err := st.history.ExtendTo(seq); err != nil {
+			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("dsms: unknown query %s", queryID)
+	return st.history.At(seq)
 }
 
 // HistoryRange replays the history store over [from, to] for the named
 // query.
 func (s *Server) HistoryRange(queryID string, from, to int) ([]stream.Reading, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, st := range s.sources {
-		for _, q := range st.queries {
-			if q.ID != queryID {
-				continue
-			}
-			if st.history == nil {
-				return nil, fmt.Errorf("dsms: history not enabled for source %s", q.SourceID)
-			}
-			if to > st.history.LastSeq() {
-				if err := st.history.ExtendTo(to); err != nil {
-					return nil, err
-				}
-			}
-			return st.history.Range(from, to)
+	st, ok := s.lookupQuery(queryID)
+	if !ok {
+		return nil, fmt.Errorf("dsms: unknown query %s", queryID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.history == nil {
+		return nil, fmt.Errorf("dsms: history not enabled for source %s", st.id)
+	}
+	if to > st.history.LastSeq() {
+		if err := st.history.ExtendTo(to); err != nil {
+			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("dsms: unknown query %s", queryID)
+	return st.history.Range(from, to)
 }
 
 // HistoryStats reports the history store's footprint for a source.
 func (s *Server) HistoryStats(sourceID string) (readings, corrections int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	st := s.sources[sourceID]
-	if st == nil || st.history == nil {
+	s.mu.RUnlock()
+	if st == nil {
+		return 0, 0, fmt.Errorf("dsms: history not enabled for source %s", sourceID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.history == nil {
 		return 0, 0, fmt.Errorf("dsms: history not enabled for source %s", sourceID)
 	}
 	return st.history.Len(), st.history.Corrections(), nil

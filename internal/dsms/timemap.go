@@ -60,12 +60,14 @@ func (t *timeMap) seqFor(tim float64) (int, error) {
 // SeqForTime maps a wall-clock timestamp to the source's reading index,
 // using the sampling rate inferred from its updates.
 func (s *Server) SeqForTime(sourceID string, tim float64) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	st := s.sources[sourceID]
+	s.mu.RUnlock()
 	if st == nil {
 		return 0, fmt.Errorf("dsms: unknown source %s", sourceID)
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return st.times.seqFor(tim)
 }
 
@@ -74,36 +76,24 @@ func (s *Server) SeqForTime(sourceID string, tim float64) (int, error) {
 // sampling rate, then resolves like Answer (current/future) — and like
 // AnswerAt when history is enabled and the timestamp is in the past.
 func (s *Server) AnswerAtTime(queryID string, tim float64) ([]float64, error) {
-	s.mu.Lock()
-	var sourceID string
-	var st *sourceState
-	for _, candidate := range s.sources {
-		for _, q := range candidate.queries {
-			if q.ID == queryID {
-				sourceID = q.SourceID
-				st = candidate
-			}
-		}
-	}
-	if st == nil {
-		s.mu.Unlock()
+	st, ok := s.lookupQuery(queryID)
+	if !ok {
 		return nil, fmt.Errorf("dsms: unknown query %s", queryID)
 	}
+	st.mu.Lock()
 	seq, err := st.times.seqFor(tim)
-	s.mu.Unlock()
 	if err != nil {
-		return nil, fmt.Errorf("dsms: source %s: %w", sourceID, err)
+		st.mu.Unlock()
+		return nil, fmt.Errorf("dsms: source %s: %w", st.id, err)
 	}
-
 	// Past timestamps need the history store; the present and future
 	// resolve from the live prediction.
-	s.mu.Lock()
 	nodeSeq := 0
 	if st.node != nil {
 		nodeSeq = st.node.Seq()
 	}
 	hasHistory := st.history != nil
-	s.mu.Unlock()
+	st.mu.Unlock()
 	if seq < nodeSeq && hasHistory {
 		return s.AnswerAt(queryID, seq)
 	}

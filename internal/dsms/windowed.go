@@ -115,16 +115,21 @@ func (s *Server) AnswerWindow(queryID string, seq int) (float64, error) {
 	}
 	from := seq - q.N + 1
 	// Clamp at the history's first sequence.
-	s.mu.Lock()
+	s.mu.RLock()
 	st := s.sources[q.SourceID]
-	if st == nil || st.history == nil || st.history.Len() == 0 {
-		s.mu.Unlock()
+	s.mu.RUnlock()
+	if st == nil {
+		return 0, fmt.Errorf("dsms: window query %s: source %s has no history yet", queryID, q.SourceID)
+	}
+	st.mu.Lock()
+	if st.history == nil || st.history.Len() == 0 {
+		st.mu.Unlock()
 		return 0, fmt.Errorf("dsms: window query %s: source %s has no history yet", queryID, q.SourceID)
 	}
 	if first := st.history.FirstSeq(); from < first {
 		from = first
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 	rec, err := s.HistoryRange(q.baseQueryID(), from, seq)
 	if err != nil {
 		return 0, err

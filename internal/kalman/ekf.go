@@ -17,6 +17,38 @@ type MeasFunc func(x *mat.Matrix) *mat.Matrix
 // at x (and step k for transitions).
 type JacobianFunc func(k int, x *mat.Matrix) *mat.Matrix
 
+// ekfWorkspace holds the scratch matrices an EKF needs per step. Unlike
+// the linear filter's workspace it carries no innovation-covariance
+// cache: the measurement Jacobian is re-evaluated at every Correct, so S
+// is never reusable across calls.
+type ekfWorkspace struct {
+	ht   *mat.Matrix // n x m: transpose of the current measurement Jacobian
+	nn1  *mat.Matrix // n x n
+	nn2  *mat.Matrix // n x n
+	nn3  *mat.Matrix // n x n
+	nm   *mat.Matrix // n x m
+	mn   *mat.Matrix // m x n
+	n1   *mat.Matrix // n x 1
+	s    *mat.Matrix // m x m
+	sInv *mat.Matrix // m x m
+	mm   *mat.Matrix // m x m scratch for InverseInto
+}
+
+func newEKFWorkspace(n, m int) *ekfWorkspace {
+	return &ekfWorkspace{
+		ht:   mat.New(n, m),
+		nn1:  mat.New(n, n),
+		nn2:  mat.New(n, n),
+		nn3:  mat.New(n, n),
+		nm:   mat.New(n, m),
+		mn:   mat.New(m, n),
+		n1:   mat.New(n, 1),
+		s:    mat.New(m, m),
+		sInv: mat.New(m, m),
+		mm:   mat.New(m, m),
+	}
+}
+
 // EKF is an extended Kalman filter: the state propagation and measurement
 // equations may be non-linear and are linearized at the most recent
 // estimate (paper §3.2 cases 2–3, future work item 3). The EKF loses the
@@ -30,7 +62,9 @@ type EKF struct {
 	q, r  *mat.Matrix
 	x, p  *mat.Matrix
 	k     int
-	innov *mat.Matrix
+	gain  *mat.Matrix // reused n x m Kalman gain buffer
+	innov *mat.Matrix // reused m x 1 innovation buffer
+	ws    *ekfWorkspace
 }
 
 // EKFConfig configures an extended Kalman filter.
@@ -68,6 +102,7 @@ func NewEKF(cfg EKFConfig) (*EKF, error) {
 		f: cfg.F, fJac: cfg.FJac, h: cfg.H, hJac: cfg.HJac,
 		q: cfg.Q.Clone(), r: cfg.R.Clone(),
 		x: cfg.X0.Clone(), p: p0.Clone(),
+		ws: newEKFWorkspace(n, cfg.R.Rows()),
 	}, nil
 }
 
@@ -76,7 +111,12 @@ func NewEKF(cfg EKFConfig) (*EKF, error) {
 func (e *EKF) Predict() {
 	jac := e.fJac(e.k, e.x)
 	e.x = e.f(e.k, e.x)
-	e.p = mat.Symmetrize(mat.AddInPlace(mat.Mul3(jac, e.p, mat.Transpose(jac)), e.q))
+	ws := e.ws
+	mat.MulInto(ws.nn1, jac, e.p)
+	mat.TransposeInto(ws.nn2, jac)
+	mat.MulInto(ws.nn3, ws.nn1, ws.nn2)
+	mat.AddInto(ws.nn3, ws.nn3, e.q)
+	mat.SymmetrizeInto(e.p, ws.nn3)
 	e.k++
 }
 
@@ -87,17 +127,34 @@ func (e *EKF) Correct(z *mat.Matrix) error {
 	if z.Rows() != hj.Rows() || z.Cols() != 1 {
 		return fmt.Errorf("kalman: EKF measurement is %dx%d, want %dx1", z.Rows(), z.Cols(), hj.Rows())
 	}
-	ht := mat.Transpose(hj)
-	s := mat.AddInPlace(mat.Mul3(hj, e.p, ht), e.r)
-	sInv, err := mat.Inverse(s)
-	if err != nil {
+	ws := e.ws
+	// S = H P H^T + R at the current linearization.
+	mat.TransposeInto(ws.ht, hj)
+	mat.MulInto(ws.mn, hj, e.p)
+	mat.MulInto(ws.s, ws.mn, ws.ht)
+	mat.AddInto(ws.s, ws.s, e.r)
+	if _, err := mat.InverseInto(ws.sInv, ws.s, ws.mm); err != nil {
 		return fmt.Errorf("kalman: EKF innovation covariance singular: %w", err)
 	}
-	gain := mat.Mul3(e.p, ht, sInv)
-	innov := mat.Sub(z, e.h(e.x))
-	e.x = mat.AddInPlace(mat.Mul(gain, innov), e.x)
-	e.p = mat.Symmetrize(mat.Mul(mat.Sub(mat.Identity(e.x.Rows()), mat.Mul(gain, hj)), e.p))
-	e.innov = innov
+	if e.gain == nil {
+		e.gain = mat.New(e.x.Rows(), e.r.Rows())
+	}
+	if e.innov == nil {
+		e.innov = mat.New(e.r.Rows(), 1)
+	}
+	// K = P H^T S^-1.
+	mat.MulInto(ws.nm, e.p, ws.ht)
+	mat.MulInto(e.gain, ws.nm, ws.sInv)
+	// d = z - h(x).
+	mat.SubInto(e.innov, z, e.h(e.x))
+	// x = x + K d.
+	mat.MulInto(ws.n1, e.gain, e.innov)
+	mat.AddInto(e.x, ws.n1, e.x)
+	// P = sym((I - K H) P).
+	mat.MulInto(ws.nn1, e.gain, hj)
+	mat.IdentityMinusInto(ws.nn1, ws.nn1)
+	mat.MulInto(ws.nn2, ws.nn1, e.p)
+	mat.SymmetrizeInto(e.p, ws.nn2)
 	return nil
 }
 
@@ -125,11 +182,16 @@ func (e *EKF) Innovation() *mat.Matrix {
 }
 
 // Clone returns a deep copy sharing only the stateless model functions.
+// The clone gets a fresh workspace, so the pair share no mutable matrix.
 func (e *EKF) Clone() *EKF {
 	c := &EKF{
 		f: e.f, fJac: e.fJac, h: e.h, hJac: e.hJac,
 		q: e.q.Clone(), r: e.r.Clone(),
 		x: e.x.Clone(), p: e.p.Clone(), k: e.k,
+		ws: newEKFWorkspace(e.x.Rows(), e.r.Rows()),
+	}
+	if e.gain != nil {
+		c.gain = e.gain.Clone()
 	}
 	if e.innov != nil {
 		c.innov = e.innov.Clone()

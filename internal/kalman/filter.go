@@ -11,6 +11,14 @@
 // but applies a correction only when an update is transmitted, so the two
 // halves of a predict–correct cycle are driven independently by the
 // protocol layer (internal/core).
+//
+// The per-reading hot path (Predict, Correct, NIS, LogLikelihood) is
+// allocation-free in steady state: every filter owns a workspace of
+// scratch matrices sized at construction and runs on the destination-
+// taking mat kernels. The kernels replicate the floating-point operation
+// order of the allocating API they replaced, so filter trajectories are
+// bit-identical to the historical implementation — the property the DKF
+// mirror-synchrony invariant rests on.
 package kalman
 
 import (
@@ -85,6 +93,52 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// workspace holds the scratch matrices one filter needs to run a full
+// predict/correct cycle without heap allocation, plus the cached
+// innovation covariance. Every Filter owns its workspace exclusively;
+// Clone builds a fresh one, so clones share nothing mutable.
+type workspace struct {
+	ht   *mat.Matrix // n x m: H^T, fixed for the filter's lifetime
+	nn1  *mat.Matrix // n x n scratch
+	nn2  *mat.Matrix // n x n scratch
+	nn3  *mat.Matrix // n x n scratch
+	nm   *mat.Matrix // n x m scratch
+	mn   *mat.Matrix // m x n scratch
+	n1   *mat.Matrix // n x 1 scratch
+	m1   *mat.Matrix // m x 1 scratch
+	row1 *mat.Matrix // 1 x m scratch for the NIS quadratic form
+	row2 *mat.Matrix // 1 x m scratch for the NIS quadratic form
+	s    *mat.Matrix // m x m: innovation covariance S = H P H^T + R
+	sInv *mat.Matrix // m x m: S^-1
+	mm   *mat.Matrix // m x m scratch for InverseInto
+
+	// sValid marks s/sInv/sDet as current for the present (x, P, R).
+	// Correct, NIS and LogLikelihood share the cached triple, so the DKF
+	// source path (NIS gate followed by Correct on the same prediction)
+	// builds and inverts S once instead of twice.
+	sValid bool
+	sDet   float64
+}
+
+func newWorkspace(h *mat.Matrix) *workspace {
+	m, n := h.Rows(), h.Cols()
+	return &workspace{
+		ht:   mat.Transpose(h),
+		nn1:  mat.New(n, n),
+		nn2:  mat.New(n, n),
+		nn3:  mat.New(n, n),
+		nm:   mat.New(n, m),
+		mn:   mat.New(m, n),
+		n1:   mat.New(n, 1),
+		m1:   mat.New(m, 1),
+		row1: mat.New(1, m),
+		row2: mat.New(1, m),
+		s:    mat.New(m, m),
+		sInv: mat.New(m, m),
+		mm:   mat.New(m, m),
+	}
+}
+
 // Filter is a discrete Kalman filter over the system
 //
 //	x_{k+1} = φ_k x_k + w_k,   w ~ N(0, Q)
@@ -101,10 +155,12 @@ type Filter struct {
 	p *mat.Matrix // error covariance matching x
 
 	k         int         // discrete time index: number of Predict steps taken
-	gain      *mat.Matrix // most recent Kalman gain K_k
-	innov     *mat.Matrix // most recent innovation z - H x^-
+	gain      *mat.Matrix // most recent Kalman gain K_k, reused across corrections
+	innov     *mat.Matrix // most recent innovation z - H x^-, reused across corrections
 	corrected bool        // whether Correct has run since the last Predict
 	joseph    bool        // use the Joseph stabilized covariance update
+
+	ws *workspace
 }
 
 // New constructs a Filter from cfg, validating dimensions.
@@ -124,6 +180,7 @@ func New(cfg Config) (*Filter, error) {
 		x:      cfg.X0.Clone(),
 		p:      p0.Clone(),
 		joseph: cfg.JosephForm,
+		ws:     newWorkspace(cfg.H),
 	}, nil
 }
 
@@ -178,10 +235,17 @@ func (f *Filter) Innovation() *mat.Matrix {
 // After Predict, State/PredictedMeasurement report the a priori estimate.
 func (f *Filter) Predict() {
 	phi := f.phi(f.k)
-	f.x = mat.Mul(phi, f.x)
-	f.p = mat.Symmetrize(mat.AddInPlace(mat.Mul3(phi, f.p, mat.Transpose(phi)), f.q))
+	ws := f.ws
+	mat.MulInto(ws.n1, phi, f.x)
+	f.x, ws.n1 = ws.n1, f.x
+	mat.MulInto(ws.nn1, phi, f.p)
+	mat.TransposeInto(ws.nn2, phi)
+	mat.MulInto(ws.nn3, ws.nn1, ws.nn2)
+	mat.AddInto(ws.nn3, ws.nn3, f.q)
+	mat.SymmetrizeInto(f.p, ws.nn3)
 	f.k++
 	f.corrected = false
+	ws.sValid = false
 }
 
 // PredictedMeasurement returns H x, the measurement the filter expects
@@ -189,6 +253,51 @@ func (f *Filter) Predict() {
 // the server would answer a query with.
 func (f *Filter) PredictedMeasurement() *mat.Matrix {
 	return mat.Mul(f.h, f.x)
+}
+
+// PredictedMeasurementInto writes H x into dst (m x 1) without
+// allocating, and returns dst. The protocol layer keeps a reusable
+// destination per node to stay off the heap on every reading.
+func (f *Filter) PredictedMeasurementInto(dst *mat.Matrix) *mat.Matrix {
+	return mat.MulInto(dst, f.h, f.x)
+}
+
+// checkMeasurement validates the shape of a measurement vector.
+func (f *Filter) checkMeasurement(z *mat.Matrix) error {
+	if z.Rows() != f.h.Rows() || z.Cols() != 1 {
+		return fmt.Errorf("kalman: measurement is %dx%d, want %dx1", z.Rows(), z.Cols(), f.h.Rows())
+	}
+	return nil
+}
+
+// refreshS (re)computes the innovation covariance S = H P H^T + R, its
+// inverse and determinant into the workspace, unless the cached values
+// are still current. This is the single home of the computation Correct,
+// NIS and LogLikelihood previously each rebuilt from scratch.
+func (f *Filter) refreshS() error {
+	ws := f.ws
+	if ws.sValid {
+		return nil
+	}
+	mat.MulInto(ws.mn, f.h, f.p)
+	mat.MulInto(ws.s, ws.mn, ws.ht)
+	mat.AddInto(ws.s, ws.s, f.r)
+	det, err := mat.InverseInto(ws.sInv, ws.s, ws.mm)
+	if err != nil {
+		return err
+	}
+	ws.sDet = det
+	ws.sValid = true
+	return nil
+}
+
+// quadForm returns d^T S^-1 d using the cached S^-1, replicating the
+// left-associated evaluation order of mat.Mul3(Transpose(d), sInv, d).
+func (f *Filter) quadForm(d *mat.Matrix) float64 {
+	ws := f.ws
+	mat.TransposeInto(ws.row1, d)
+	mat.MulInto(ws.row2, ws.row1, ws.sInv)
+	return mat.Dot(ws.row2, d)
 }
 
 // Correct folds measurement z (m x 1) into the state estimate:
@@ -200,29 +309,45 @@ func (f *Filter) PredictedMeasurement() *mat.Matrix {
 // Correct returns an error if the innovation covariance is singular, which
 // indicates a degenerate model (e.g. zero R with an unobservable state).
 func (f *Filter) Correct(z *mat.Matrix) error {
-	if z.Rows() != f.h.Rows() || z.Cols() != 1 {
-		return fmt.Errorf("kalman: measurement is %dx%d, want %dx1", z.Rows(), z.Cols(), f.h.Rows())
+	if err := f.checkMeasurement(z); err != nil {
+		return err
 	}
-	ht := mat.Transpose(f.h)
-	s := mat.AddInPlace(mat.Mul3(f.h, f.p, ht), f.r) // innovation covariance
-	sInv, err := mat.Inverse(s)
-	if err != nil {
+	if err := f.refreshS(); err != nil {
 		return fmt.Errorf("kalman: innovation covariance not invertible: %w", err)
 	}
-	k := mat.Mul3(f.p, ht, sInv)
-	innov := mat.Sub(z, mat.Mul(f.h, f.x))
-	f.x = mat.AddInPlace(mat.Mul(k, innov), f.x)
-	ikh := mat.Sub(mat.Identity(f.x.Rows()), mat.Mul(k, f.h))
-	if f.joseph {
-		f.p = mat.Symmetrize(mat.Add(
-			mat.Mul3(ikh, f.p, mat.Transpose(ikh)),
-			mat.Mul3(k, f.r, mat.Transpose(k)),
-		))
-	} else {
-		f.p = mat.Symmetrize(mat.Mul(ikh, f.p))
+	ws := f.ws
+	if f.gain == nil {
+		f.gain = mat.New(f.x.Rows(), f.h.Rows())
 	}
-	f.gain = k
-	f.innov = innov
+	if f.innov == nil {
+		f.innov = mat.New(f.h.Rows(), 1)
+	}
+	// K = P H^T S^-1.
+	mat.MulInto(ws.nm, f.p, ws.ht)
+	mat.MulInto(f.gain, ws.nm, ws.sInv)
+	// d = z - H x^-.
+	mat.MulInto(f.innov, f.h, f.x)
+	mat.SubInto(f.innov, z, f.innov)
+	// x = x^- + K d.
+	mat.MulInto(ws.n1, f.gain, f.innov)
+	mat.AddInto(f.x, ws.n1, f.x)
+	// I - K H.
+	mat.MulInto(ws.nn1, f.gain, f.h)
+	mat.IdentityMinusInto(ws.nn1, ws.nn1)
+	if f.joseph {
+		mat.MulInto(ws.nn2, ws.nn1, f.p)
+		mat.TransposeInto(ws.nn3, ws.nn1)
+		mat.MulInto(ws.nn1, ws.nn2, ws.nn3) // (I-KH) P (I-KH)^T
+		mat.MulInto(ws.nm, f.gain, f.r)
+		mat.TransposeInto(ws.mn, f.gain)
+		mat.MulInto(ws.nn2, ws.nm, ws.mn) // K R K^T
+		mat.AddInto(ws.nn2, ws.nn1, ws.nn2)
+		mat.SymmetrizeInto(f.p, ws.nn2)
+	} else {
+		mat.MulInto(ws.nn2, ws.nn1, f.p)
+		mat.SymmetrizeInto(f.p, ws.nn2)
+	}
+	ws.sValid = false
 	f.corrected = true
 	return nil
 }
@@ -241,18 +366,20 @@ func (f *Filter) Corrected() bool { return f.corrected }
 // z evaluated against the current prediction, without modifying the filter.
 // Under a correct model NIS is chi-squared distributed with m degrees of
 // freedom; large values indicate outliers or model mismatch.
+//
+// NIS shares the cached innovation covariance with Correct: the DKF
+// outlier gate's NIS-then-Correct sequence inverts S once.
 func (f *Filter) NIS(z *mat.Matrix) (float64, error) {
-	if z.Rows() != f.h.Rows() || z.Cols() != 1 {
-		return 0, fmt.Errorf("kalman: measurement is %dx%d, want %dx1", z.Rows(), z.Cols(), f.h.Rows())
+	if err := f.checkMeasurement(z); err != nil {
+		return 0, err
 	}
-	ht := mat.Transpose(f.h)
-	s := mat.AddInPlace(mat.Mul3(f.h, f.p, ht), f.r)
-	sInv, err := mat.Inverse(s)
-	if err != nil {
+	if err := f.refreshS(); err != nil {
 		return 0, fmt.Errorf("kalman: innovation covariance not invertible: %w", err)
 	}
-	d := mat.Sub(z, mat.Mul(f.h, f.x))
-	return mat.Mul3(mat.Transpose(d), sInv, d).At(0, 0), nil
+	ws := f.ws
+	mat.MulInto(ws.m1, f.h, f.x)
+	mat.SubInto(ws.m1, z, ws.m1)
+	return f.quadForm(ws.m1), nil
 }
 
 // LogLikelihood returns the Gaussian log-likelihood of measurement z
@@ -264,28 +391,27 @@ func (f *Filter) NIS(z *mat.Matrix) (float64, error) {
 // a model explains the stream — the Bayesian counterpart of the
 // prediction-error scoring used for online model selection.
 func (f *Filter) LogLikelihood(z *mat.Matrix) (float64, error) {
-	if z.Rows() != f.h.Rows() || z.Cols() != 1 {
-		return 0, fmt.Errorf("kalman: measurement is %dx%d, want %dx1", z.Rows(), z.Cols(), f.h.Rows())
+	if err := f.checkMeasurement(z); err != nil {
+		return 0, err
 	}
-	ht := mat.Transpose(f.h)
-	s := mat.AddInPlace(mat.Mul3(f.h, f.p, ht), f.r)
-	det := mat.Det(s)
-	if det <= 0 {
-		return 0, fmt.Errorf("kalman: innovation covariance not positive definite (det %v)", det)
+	if err := f.refreshS(); err != nil {
+		return 0, fmt.Errorf("kalman: innovation covariance not positive definite (det %v)", 0.0)
 	}
-	sInv, err := mat.Inverse(s)
-	if err != nil {
-		return 0, fmt.Errorf("kalman: innovation covariance not invertible: %w", err)
+	if f.ws.sDet <= 0 {
+		return 0, fmt.Errorf("kalman: innovation covariance not positive definite (det %v)", f.ws.sDet)
 	}
-	d := mat.Sub(z, mat.Mul(f.h, f.x))
-	quad := mat.Mul3(mat.Transpose(d), sInv, d).At(0, 0)
+	ws := f.ws
+	mat.MulInto(ws.m1, f.h, f.x)
+	mat.SubInto(ws.m1, z, ws.m1)
+	quad := f.quadForm(ws.m1)
 	m := float64(f.h.Rows())
-	return -0.5 * (m*math.Log(2*math.Pi) + math.Log(det) + quad), nil
+	return -0.5 * (m*math.Log(2*math.Pi) + math.Log(f.ws.sDet) + quad), nil
 }
 
 // Clone returns a deep copy of the filter sharing only the (stateless)
 // transition function. The DKF protocol clones the server filter to build
-// the byte-identical mirror filter at the source.
+// the byte-identical mirror filter at the source. The clone owns a fresh
+// workspace, so the pair share no mutable matrix whatsoever.
 func (f *Filter) Clone() *Filter {
 	c := &Filter{
 		phi:       f.phi,
@@ -297,6 +423,7 @@ func (f *Filter) Clone() *Filter {
 		k:         f.k,
 		corrected: f.corrected,
 		joseph:    f.joseph,
+		ws:        newWorkspace(f.h),
 	}
 	if f.gain != nil {
 		c.gain = f.gain.Clone()
@@ -328,6 +455,7 @@ func (f *Filter) Reset(x0, p0 *mat.Matrix) {
 	f.k = 0
 	f.gain, f.innov = nil, nil
 	f.corrected = false
+	f.ws.sValid = false
 }
 
 // SetNoise replaces the process and/or measurement noise covariances.
@@ -345,5 +473,6 @@ func (f *Filter) SetNoise(q, r *mat.Matrix) {
 			panic(fmt.Sprintf("kalman: SetNoise R is %dx%d, want %dx%d", r.Rows(), r.Cols(), f.r.Rows(), f.r.Cols()))
 		}
 		f.r = r.Clone()
+		f.ws.sValid = false
 	}
 }

@@ -200,6 +200,7 @@ func (im *IMM) Step(z *mat.Matrix) error {
 func (f *Filter) setMoments(x, p *mat.Matrix) {
 	f.x = x.Clone()
 	f.p = p.Clone()
+	f.ws.sValid = false
 }
 
 // State returns the probability-weighted combined state estimate.

@@ -132,13 +132,15 @@ func Solve(a, b *Matrix) (*Matrix, error) {
 	return lu.Solve(b)
 }
 
-// Inverse returns a^-1 computed via LU decomposition.
+// Inverse returns a^-1. It is a thin wrapper over InverseInto: closed
+// forms for orders 1 and 2, Gauss-Jordan elimination with partial
+// pivoting above that.
 func Inverse(a *Matrix) (*Matrix, error) {
-	lu, err := DecomposeLU(a)
-	if err != nil {
+	out := New(a.rows, a.cols)
+	if _, err := InverseInto(out, a, nil); err != nil {
 		return nil, err
 	}
-	return lu.Solve(Identity(a.rows))
+	return out, nil
 }
 
 // Det returns the determinant of a square matrix (0 if singular).

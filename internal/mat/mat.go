@@ -170,21 +170,13 @@ func (m *Matrix) VecSlice() []float64 {
 // Add returns a + b.
 func Add(a, b *Matrix) *Matrix {
 	sameDims("Add", a, b)
-	out := New(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = a.data[i] + b.data[i]
-	}
-	return out
+	return AddInto(New(a.rows, a.cols), a, b)
 }
 
 // Sub returns a - b.
 func Sub(a, b *Matrix) *Matrix {
 	sameDims("Sub", a, b)
-	out := New(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = a.data[i] - b.data[i]
-	}
-	return out
+	return SubInto(New(a.rows, a.cols), a, b)
 }
 
 // AddInPlace sets a = a + b and returns a.
@@ -207,44 +199,28 @@ func Mul(a, b *Matrix) *Matrix {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	out := New(a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*b.cols : (i+1)*b.cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return MulInto(New(a.rows, b.cols), a, b)
 }
 
-// Mul3 returns a * b * c, associating left to right.
-func Mul3(a, b, c *Matrix) *Matrix { return Mul(Mul(a, b), c) }
+// Mul3 returns a * b * c, associating whichever way costs fewer
+// multiply-adds for the operand shapes. Ties keep the historical
+// left-to-right association, so results stay bit-identical for the
+// symmetric-cost products of the Kalman recursions.
+func Mul3(a, b, c *Matrix) *Matrix {
+	if mul3RightFirst(a, b, c) {
+		return Mul(a, Mul(b, c))
+	}
+	return Mul(Mul(a, b), c)
+}
 
 // Scale returns s * a.
 func Scale(s float64, a *Matrix) *Matrix {
-	out := New(a.rows, a.cols)
-	for i := range a.data {
-		out.data[i] = s * a.data[i]
-	}
-	return out
+	return ScaleInto(New(a.rows, a.cols), s, a)
 }
 
 // Transpose returns a-transpose.
 func Transpose(a *Matrix) *Matrix {
-	out := New(a.cols, a.rows)
-	for i := 0; i < a.rows; i++ {
-		for j := 0; j < a.cols; j++ {
-			out.data[j*a.rows+i] = a.data[i*a.cols+j]
-		}
-	}
-	return out
+	return TransposeInto(New(a.cols, a.rows), a)
 }
 
 // Symmetrize returns (a + a^T)/2. Used to keep covariance matrices
@@ -253,13 +229,7 @@ func Symmetrize(a *Matrix) *Matrix {
 	if a.rows != a.cols {
 		panic(fmt.Sprintf("mat: Symmetrize on non-square %dx%d", a.rows, a.cols))
 	}
-	out := New(a.rows, a.cols)
-	for i := 0; i < a.rows; i++ {
-		for j := 0; j < a.cols; j++ {
-			out.data[i*a.cols+j] = (a.data[i*a.cols+j] + a.data[j*a.cols+i]) / 2
-		}
-	}
-	return out
+	return SymmetrizeInto(New(a.rows, a.cols), a)
 }
 
 // Trace returns the sum of diagonal elements of a square matrix.
