@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check baseline
+.PHONY: build test race vet bench bench-net check baseline
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,11 @@ vet:
 # Hot-path microbenchmarks: per-reading filter cost and parallel ingest.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFilterStep|BenchmarkServerIngestParallel|BenchmarkDKFStepLinear2D' -benchmem ./
+
+# Loopback TCP ingest over the binary framed wire protocol (see
+# BENCH_TCP.json for recorded before/after numbers).
+bench-net:
+	$(GO) test -run '^$$' -bench 'BenchmarkTCPIngest' -benchmem -count 3 ./internal/dsms/
 
 # Full benchmark sweep regenerating every figure/table artefact.
 bench-all:

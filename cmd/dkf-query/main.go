@@ -8,12 +8,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"streamkf/internal/core"
 	"streamkf/internal/dsms"
 )
 
@@ -44,6 +46,12 @@ func main() {
 			id = strings.TrimSpace(id)
 			vals, err := qc.Ask(id, at)
 			if err != nil {
+				// A dead connection ends the session; a per-query
+				// error (unknown id, no bootstrap yet) does not.
+				if errors.Is(err, core.ErrPeerClosed) || errors.Is(err, core.ErrTruncated) {
+					fmt.Fprintf(os.Stderr, "dkf-query: %v\n", err)
+					os.Exit(1)
+				}
 				fmt.Printf("%-16s seq=%-8d error: %v\n", id, at, err)
 				continue
 			}

@@ -67,6 +67,7 @@ func main() {
 		listen     = flag.String("listen", "127.0.0.1:7474", "address to listen on")
 		dt         = flag.Float64("dt", 1.0, "sampling interval assumed by the model catalog")
 		stats      = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+		maxFrame   = flag.Int("maxframe", 0, "max accepted wire frame size in bytes (0 = 1 MiB default)")
 		queries    queryFlags
 		statements stringsFlag
 	)
@@ -96,7 +97,7 @@ func main() {
 		fmt.Printf("installed CQL query %q\n", name)
 	}
 
-	ts, err := dsms.NewTCPServer(server, *listen)
+	ts, err := dsms.NewTCPServerOptions(server, *listen, dsms.ServerOptions{MaxFrame: *maxFrame})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dkf-server: %v\n", err)
 		os.Exit(1)

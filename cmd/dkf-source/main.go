@@ -30,6 +30,7 @@ func main() {
 		dt      = flag.Float64("dt", 1.0, "sampling interval assumed by the model catalog")
 		seed    = flag.Int64("seed", 0, "generator seed override")
 		n       = flag.Int("n", 0, "generator length override")
+		window  = flag.Int("window", dsms.DefaultWindow, "max unacked updates in flight (1 = synchronous ack per update)")
 	)
 	flag.Parse()
 
@@ -43,13 +44,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	agent, err := dsms.DialSource(*server, *source, dsms.DefaultCatalog(*dt))
+	agent, err := dsms.DialSourceOptions(*server, *source, dsms.DefaultCatalog(*dt), dsms.DialOptions{Window: *window})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dkf-source: %v\n", err)
 		os.Exit(1)
 	}
 	defer agent.Close()
-	fmt.Printf("dkf-source %s connected to %s; streaming %d readings\n", *source, *server, len(data))
+	fmt.Printf("dkf-source %s connected to %s; streaming %d readings (window %d)\n", *source, *server, len(data), *window)
 
 	start := time.Now()
 	for _, r := range data {
@@ -60,6 +61,12 @@ func main() {
 		if *rate > 0 {
 			time.Sleep(*rate)
 		}
+	}
+	// Wait until the server has acknowledged every pipelined update
+	// before reporting: the run is not done while updates are in flight.
+	if err := agent.Drain(); err != nil {
+		fmt.Fprintf(os.Stderr, "dkf-source: %v\n", err)
+		os.Exit(1)
 	}
 	st := agent.Stats()
 	elapsed := time.Since(start)

@@ -9,8 +9,8 @@ import (
 )
 
 // Transport carries updates from a source to its server. Implementations
-// include the in-process DirectTransport here and the gob/TCP transport
-// in internal/dsms.
+// include the in-process DirectTransport here and the binary framed TCP
+// transport in internal/dsms.
 type Transport interface {
 	// Send delivers one update to the server side.
 	Send(Update) error

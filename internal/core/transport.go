@@ -10,6 +10,17 @@ import (
 // is lost in flight.
 var ErrDropped = errors.New("core: update dropped in transit")
 
+// ErrPeerClosed reports that the remote end closed the connection
+// cleanly, at a message boundary — the failure mode of an orderly server
+// shutdown. Wrap it so callers can distinguish a clean close from data
+// loss with errors.Is.
+var ErrPeerClosed = errors.New("core: peer closed the connection")
+
+// ErrTruncated reports a connection that died mid-message: bytes of a
+// frame arrived and then the stream ended. Unlike ErrPeerClosed this is
+// never the result of an orderly shutdown — data was lost in flight.
+var ErrTruncated = errors.New("core: connection truncated mid-message")
+
 // LossMode selects how a LossyTransport reports a dropped update.
 type LossMode int
 

@@ -7,8 +7,9 @@
 // filter and decides what to transmit.
 //
 // Two transports are provided: direct in-process calls (deterministic,
-// used by tests and the experiment harness) and a gob-over-TCP wire
-// protocol (cmd/dkf-server and cmd/dkf-source).
+// used by tests and the experiment harness) and a binary framed TCP
+// protocol with pipelined cumulative acks (internal/dsms/wire,
+// cmd/dkf-server and cmd/dkf-source).
 package dsms
 
 import (

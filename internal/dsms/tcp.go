@@ -3,64 +3,70 @@ package dsms
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 
-	"encoding/gob"
-
 	"streamkf/internal/core"
+	"streamkf/internal/dsms/wire"
 	"streamkf/internal/stream"
 )
 
-// The wire protocol is a stream of gob-encoded envelopes per connection.
-// A source connection performs hello → install, then ships update
-// messages, each acknowledged. A query client sends query messages and
-// receives answers. Any server-side failure is reported as an errmsg
-// envelope and closes nothing — the client decides.
-const (
-	msgHello   = "hello"
-	msgInstall = "install"
-	msgUpdate  = "update"
-	msgAck     = "ack"
-	msgQuery   = "query"
-	msgAnswer  = "answer"
-	msgError   = "error"
-)
+// The TCP transport speaks the length-prefixed binary framing protocol
+// of internal/dsms/wire. A source connection exchanges preambles, then
+// hello → install, then ships update frames *pipelined*: the agent does
+// not wait for acknowledgements, the server acks cumulatively by
+// sequence number, and a configurable window of unacked updates
+// provides backpressure. Server-side failures arrive asynchronously as
+// error frames and fail the agent's next Offer. Query clients remain
+// synchronous request/response.
 
-// envelope is the single on-wire message shape. Only the fields relevant
-// to Type are populated.
-type envelope struct {
-	Type      string
-	SourceID  string
-	ModelName string
-	Delta     float64
-	F         float64
-	Update    *core.Update
-	QueryID   string
-	Seq       int
-	Values    []float64
-	Err       string
+// DefaultWindow is the default number of unacknowledged updates a
+// RemoteAgent keeps in flight before Offer blocks for acks.
+const DefaultWindow = 64
+
+// errAgentClosed reports an operation on a RemoteAgent after Close.
+var errAgentClosed = errors.New("dsms: agent closed")
+
+// DialOptions tunes a RemoteAgent connection.
+type DialOptions struct {
+	// Window is the maximum number of unacked updates in flight.
+	// 0 means DefaultWindow; 1 reproduces the synchronous
+	// ack-per-update protocol.
+	Window int
+	// MaxFrame caps accepted frame sizes; 0 means wire.DefaultMaxFrame.
+	MaxFrame int
 }
 
-// TCPServer exposes a Server over gob/TCP.
+// ServerOptions tunes a TCPServer.
+type ServerOptions struct {
+	// MaxFrame caps accepted frame sizes; 0 means wire.DefaultMaxFrame.
+	MaxFrame int
+}
+
+// TCPServer exposes a Server over the binary wire protocol.
 type TCPServer struct {
-	server  *Server
-	ln      net.Listener
-	mu      sync.Mutex
-	conns   map[net.Conn]struct{}
-	closed  bool
-	serveWG sync.WaitGroup
+	server   *Server
+	ln       net.Listener
+	maxFrame int
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	serveWG  sync.WaitGroup
 }
 
 // NewTCPServer wraps server with a listener on addr (e.g.
 // "127.0.0.1:0"). Call Serve to start accepting and Close to stop.
 func NewTCPServer(server *Server, addr string) (*TCPServer, error) {
+	return NewTCPServerOptions(server, addr, ServerOptions{})
+}
+
+// NewTCPServerOptions is NewTCPServer with explicit limits.
+func NewTCPServerOptions(server *Server, addr string, opts ServerOptions) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dsms: listen: %w", err)
 	}
-	return &TCPServer{server: server, ln: ln, conns: make(map[net.Conn]struct{})}, nil
+	return &TCPServer{server: server, ln: ln, maxFrame: opts.MaxFrame, conns: make(map[net.Conn]struct{})}, nil
 }
 
 // Addr returns the bound listener address.
@@ -110,181 +116,469 @@ func (t *TCPServer) handle(conn net.Conn) {
 		delete(t.conns, conn)
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var in envelope
-		if err := dec.Decode(&in); err != nil {
-			return // EOF or broken connection: drop it
+	r := wire.NewReader(conn, 0, t.maxFrame)
+	w := wire.NewWriter(conn, 0, t.maxFrame)
+
+	// Preamble exchange: validate the client's, answer with ours. A
+	// peer that is not speaking the protocol at all gets an error frame
+	// on the off chance it can parse one, then the close.
+	ver, err := r.ReadPreamble()
+	if err != nil {
+		w.Error(err.Error())
+		w.Flush()
+		return
+	}
+	if w.WritePreamble(wire.Version) != nil {
+		return
+	}
+	if err := wire.CheckVersion(ver); err != nil {
+		w.Error(fmt.Sprintf("dsms: %v", err))
+		w.Flush()
+		return
+	}
+	if w.Flush() != nil {
+		return
+	}
+
+	// Per-connection decode state: the update struct and its Values
+	// slice are reused across frames, so the steady-state ingest path
+	// performs no allocations.
+	var u core.Update
+	var ackSeq int64
+	pendingAck := false
+
+	// flushAck writes the cumulative ack for everything folded so far.
+	flushAck := func() bool {
+		if pendingAck {
+			if w.Ack(ackSeq) != nil {
+				return false
+			}
+			pendingAck = false
 		}
-		var out envelope
-		switch in.Type {
-		case msgHello:
-			cfg, err := t.server.InstallFor(in.SourceID)
+		return w.Flush() == nil
+	}
+
+	for {
+		tag, p, err := r.Next()
+		if err != nil {
+			// Tell a well-behaved client why an oversized or malformed
+			// frame killed the connection; a vanished peer gets nothing.
+			var fse *wire.FrameSizeError
+			if errors.As(err, &fse) || errors.Is(err, wire.ErrMalformed) {
+				w.Error(fmt.Sprintf("dsms: %v", err))
+				w.Flush()
+			}
+			return
+		}
+		switch tag {
+		case wire.TagHello:
+			id, err := wire.DecodeHello(p)
 			if err != nil {
-				out = envelope{Type: msgError, Err: err.Error()}
-			} else {
-				out = envelope{Type: msgInstall, SourceID: cfg.SourceID, ModelName: cfg.Model.Name, Delta: cfg.Delta, F: cfg.F}
+				w.Error(fmt.Sprintf("dsms: %v", err))
+				w.Flush()
+				return
 			}
-		case msgUpdate:
-			if in.Update == nil {
-				out = envelope{Type: msgError, Err: "dsms: update envelope without payload"}
-				break
+			cfg, err := t.server.InstallFor(id)
+			if err != nil {
+				if w.Error(err.Error()) != nil || !flushAck() {
+					return
+				}
+				continue
 			}
-			if err := t.server.HandleUpdate(*in.Update); err != nil {
-				out = envelope{Type: msgError, Err: err.Error()}
-			} else {
-				out = envelope{Type: msgAck, Seq: in.Update.Seq}
+			if w.Install(cfg.SourceID, cfg.Model.Name, cfg.Delta, cfg.F) != nil || !flushAck() {
+				return
 			}
-		case msgQuery:
-			vals, err := t.server.Answer(in.QueryID, in.Seq)
+		case wire.TagUpdate:
+			if err := r.DecodeUpdate(p, &u); err != nil {
+				w.Error(fmt.Sprintf("dsms: %v", err))
+				w.Flush()
+				return
+			}
+			if err := t.server.HandleUpdate(u); err != nil {
+				// Delivered asynchronously: the client fails its next
+				// Offer. Keep reading — the client decides when to hang up.
+				if w.Error(err.Error()) != nil || !flushAck() {
+					return
+				}
+				continue
+			}
+			ackSeq = int64(u.Seq)
+			pendingAck = true
+			// Coalesce acks: only flush when no further frames are
+			// already buffered, so a burst of updates costs one ack
+			// write-out instead of one per update.
+			if r.Buffered() == 0 && !flushAck() {
+				return
+			}
+		case wire.TagQuery:
+			qid, seq, err := r.DecodeQuery(p)
+			if err != nil {
+				w.Error(fmt.Sprintf("dsms: %v", err))
+				w.Flush()
+				return
+			}
+			vals, err := t.server.Answer(qid, int(seq))
 			if err != nil {
 				// The id may name an aggregate or windowed query instead.
-				if v, aggErr := t.server.AnswerAggregate(in.QueryID, in.Seq); aggErr == nil {
-					out = envelope{Type: msgAnswer, QueryID: in.QueryID, Values: []float64{v}}
-					break
+				if v, aggErr := t.server.AnswerAggregate(qid, int(seq)); aggErr == nil {
+					vals, err = []float64{v}, nil
+				} else if v, winErr := t.server.AnswerWindow(qid, int(seq)); winErr == nil {
+					vals, err = []float64{v}, nil
 				}
-				if v, winErr := t.server.AnswerWindow(in.QueryID, in.Seq); winErr == nil {
-					out = envelope{Type: msgAnswer, QueryID: in.QueryID, Values: []float64{v}}
-					break
+			}
+			if err != nil {
+				if w.Error(err.Error()) != nil || !flushAck() {
+					return
 				}
-				out = envelope{Type: msgError, Err: err.Error()}
-			} else {
-				out = envelope{Type: msgAnswer, QueryID: in.QueryID, Values: vals}
+				continue
+			}
+			if w.Answer(qid, vals) != nil || !flushAck() {
+				return
 			}
 		default:
-			out = envelope{Type: msgError, Err: fmt.Sprintf("dsms: unknown message type %q", in.Type)}
-		}
-		if err := enc.Encode(out); err != nil {
-			return
+			if w.Error(fmt.Sprintf("dsms: unknown message tag 0x%02x", byte(tag))) != nil || !flushAck() {
+				return
+			}
 		}
 	}
 }
 
 // RemoteAgent is a source agent connected to a TCPServer. It performs
-// the install handshake on dial and ships updates synchronously,
-// requiring an ack per update.
+// the install handshake on dial and ships updates pipelined: Offer
+// returns as soon as the update frame is buffered, a background reader
+// consumes the server's cumulative acks, and at most Window updates stay
+// unacknowledged before Offer blocks. Server errors are sticky and fail
+// every subsequent Offer, Drain, and Close.
 type RemoteAgent struct {
-	agent *Agent
-	conn  net.Conn
-	mu    sync.Mutex
-	enc   *gob.Encoder
-	dec   *gob.Decoder
+	agent  *Agent
+	conn   net.Conn
+	window int
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	w           *wire.Writer
+	outstanding []int64 // unacked update seqs, oldest first (monotonic)
+	err         error   // sticky transport/server error
+	closing     bool    // suppresses the close-induced read error
+
+	readerDone chan struct{}
 }
 
-// DialSource connects sourceID to the server at addr, resolving the
-// installed model from catalog — the agent and server must share
-// catalog contents by name.
+// DialSource connects sourceID to the server at addr with default
+// options, resolving the installed model from catalog — the agent and
+// server must share catalog contents by name.
 func DialSource(addr, sourceID string, catalog *Catalog) (*RemoteAgent, error) {
+	return DialSourceOptions(addr, sourceID, catalog, DialOptions{})
+}
+
+// DialSourceOptions is DialSource with an explicit ack window.
+func DialSourceOptions(addr, sourceID string, catalog *Catalog, opts DialOptions) (*RemoteAgent, error) {
+	window := opts.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dsms: dial: %w", err)
 	}
-	ra := &RemoteAgent{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-	resp, err := ra.roundTrip(envelope{Type: msgHello, SourceID: sourceID})
-	if err != nil {
+	// Size the write buffer for a full window of small update frames so
+	// coalesced bursts reach the kernel in one write.
+	w := wire.NewWriter(conn, 64*window, opts.MaxFrame)
+	r := wire.NewReader(conn, 0, opts.MaxFrame)
+	fail := func(err error) (*RemoteAgent, error) {
 		conn.Close()
 		return nil, err
 	}
-	if resp.Type != msgInstall {
-		conn.Close()
-		return nil, fmt.Errorf("dsms: unexpected handshake reply %q", resp.Type)
+	if err := w.WritePreamble(wire.Version); err != nil {
+		return fail(fmt.Errorf("dsms: send: %w", err))
 	}
-	m, err := catalog.Resolve(resp.ModelName)
+	if err := w.Hello(sourceID); err != nil {
+		return fail(fmt.Errorf("dsms: send: %w", err))
+	}
+	if err := w.Flush(); err != nil {
+		return fail(fmt.Errorf("dsms: send: %w", err))
+	}
+	ver, err := r.ReadPreamble()
 	if err != nil {
-		conn.Close()
-		return nil, err
+		return fail(fmt.Errorf("dsms: handshake: %w", err))
 	}
-	cfg := core.Config{SourceID: sourceID, Model: m, Delta: resp.Delta, F: resp.F}
+	if err := wire.CheckVersion(ver); err != nil {
+		return fail(fmt.Errorf("dsms: handshake: %w", err))
+	}
+	tag, p, err := r.Next()
+	if err != nil {
+		return fail(fmt.Errorf("dsms: handshake: %w", recvErr(err)))
+	}
+	if tag == wire.TagError {
+		msg, _ := wire.DecodeError(p)
+		return fail(fmt.Errorf("dsms: server error: %s", msg))
+	}
+	if tag != wire.TagInstall {
+		return fail(fmt.Errorf("dsms: unexpected handshake reply %v", tag))
+	}
+	inst, err := wire.DecodeInstall(p)
+	if err != nil {
+		return fail(fmt.Errorf("dsms: handshake: %w", err))
+	}
+	m, err := catalog.Resolve(inst.Model)
+	if err != nil {
+		return fail(err)
+	}
+	ra := &RemoteAgent{
+		conn:       conn,
+		window:     window,
+		w:          w,
+		readerDone: make(chan struct{}),
+	}
+	ra.cond = sync.NewCond(&ra.mu)
+	cfg := core.Config{SourceID: sourceID, Model: m, Delta: inst.Delta, F: inst.F}
 	agent, err := NewAgent(cfg, core.TransportFunc(ra.sendUpdate))
 	if err != nil {
-		conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	ra.agent = agent
+	go ra.readLoop(r)
 	return ra, nil
 }
 
-func (r *RemoteAgent) roundTrip(out envelope) (envelope, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.enc.Encode(out); err != nil {
-		return envelope{}, fmt.Errorf("dsms: send: %w", err)
+// recvErr dresses a receive failure for the caller, keeping the
+// clean-close/truncation distinction inspectable with errors.Is.
+func recvErr(err error) error {
+	if errors.Is(err, core.ErrPeerClosed) {
+		return fmt.Errorf("dsms: server closed connection: %w", err)
 	}
-	var in envelope
-	if err := r.dec.Decode(&in); err != nil {
-		if errors.Is(err, io.EOF) {
-			return envelope{}, errors.New("dsms: server closed connection")
-		}
-		return envelope{}, fmt.Errorf("dsms: receive: %w", err)
-	}
-	if in.Type == msgError {
-		return envelope{}, fmt.Errorf("dsms: server error: %s", in.Err)
-	}
-	return in, nil
+	return fmt.Errorf("dsms: receive: %w", err)
 }
 
-func (r *RemoteAgent) sendUpdate(u core.Update) error {
-	resp, err := r.roundTrip(envelope{Type: msgUpdate, Update: &u})
-	if err != nil {
-		return err
+// readLoop consumes ack and error frames until the connection dies. It
+// also implements the flush half of the self-clocking write coalescing:
+// whenever acks free window space, any frames buffered since the last
+// write-out are flushed, so burst batch size adapts to the ack rate the
+// way TCP's self-clocking does.
+func (r *RemoteAgent) readLoop(rd *wire.Reader) {
+	defer close(r.readerDone)
+	for {
+		tag, p, err := rd.Next()
+		if err != nil {
+			r.fail(recvErr(err))
+			return
+		}
+		switch tag {
+		case wire.TagAck:
+			seq, err := wire.DecodeAck(p)
+			if err != nil {
+				r.fail(fmt.Errorf("dsms: %w", err))
+				return
+			}
+			r.mu.Lock()
+			n := 0
+			for n < len(r.outstanding) && r.outstanding[n] <= seq {
+				n++
+			}
+			if n > 0 {
+				r.outstanding = r.outstanding[:copy(r.outstanding, r.outstanding[n:])]
+			}
+			if r.err == nil && r.w.Buffered() > 0 {
+				if err := r.w.Flush(); err != nil {
+					r.err = fmt.Errorf("dsms: send: %w", err)
+				}
+			}
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		case wire.TagError:
+			msg, _ := wire.DecodeError(p)
+			r.fail(fmt.Errorf("dsms: server error: %s", msg))
+			return
+		default:
+			r.fail(fmt.Errorf("dsms: unexpected %v frame from server", tag))
+			return
+		}
 	}
-	if resp.Type != msgAck {
-		return fmt.Errorf("dsms: expected ack, got %q", resp.Type)
+}
+
+// fail records the first transport error and wakes all waiters. A read
+// failure after Close is the expected teardown, not an error.
+func (r *RemoteAgent) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil && !r.closing {
+		r.err = err
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// sendUpdate implements core.Transport: buffer the frame, enforce the
+// window, and flush only when no ack is in flight to trigger the flush
+// from readLoop (pipelined sends coalesce into bursts).
+func (r *RemoteAgent) sendUpdate(u core.Update) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.err == nil && !r.closing && len(r.outstanding) >= r.window {
+		// Everything buffered must be on the wire before blocking, or
+		// the acks we are waiting for can never be generated.
+		if r.w.Buffered() > 0 {
+			if err := r.w.Flush(); err != nil {
+				r.err = fmt.Errorf("dsms: send: %w", err)
+				break
+			}
+		}
+		r.cond.Wait()
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.closing {
+		return errAgentClosed
+	}
+	if err := r.w.Update(&u); err != nil {
+		r.err = fmt.Errorf("dsms: send: %w", err)
+		return r.err
+	}
+	r.outstanding = append(r.outstanding, int64(u.Seq))
+	if len(r.outstanding) == 1 {
+		// No ack is due, so nothing will trigger a flush from the read
+		// side: write out now. While acks are in flight, readLoop
+		// flushes on their arrival instead, coalescing this frame with
+		// its successors.
+		if err := r.w.Flush(); err != nil {
+			r.err = fmt.Errorf("dsms: send: %w", err)
+			return r.err
+		}
 	}
 	return nil
 }
 
+// Err returns the sticky transport error, if any — the asynchronous
+// delivery point for server-side failures of pipelined updates.
+func (r *RemoteAgent) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
 // Offer processes one reading through the DKF source node, transmitting
-// if required. It returns whether an update was sent.
+// if required. It returns whether an update was shipped. An error
+// reported asynchronously for an earlier pipelined update fails the
+// next Offer.
 func (r *RemoteAgent) Offer(reading stream.Reading) (bool, error) {
+	if err := r.Err(); err != nil {
+		return false, err
+	}
 	return r.agent.Offer(reading)
 }
 
-// Run drives an entire source stream.
-func (r *RemoteAgent) Run(src stream.Source) error { return r.agent.Run(src) }
+// Run drives an entire source stream, then drains the pipeline so the
+// server has folded every update before Run returns.
+func (r *RemoteAgent) Run(src stream.Source) error {
+	if err := r.agent.Run(src); err != nil {
+		return err
+	}
+	return r.Drain()
+}
+
+// Drain flushes buffered frames and blocks until the server has
+// acknowledged every in-flight update, returning the sticky error if
+// the pipeline broke.
+func (r *RemoteAgent) Drain() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil && r.w.Buffered() > 0 {
+		if err := r.w.Flush(); err != nil {
+			r.err = fmt.Errorf("dsms: send: %w", err)
+		}
+	}
+	for r.err == nil && !r.closing && len(r.outstanding) > 0 {
+		r.cond.Wait()
+	}
+	if r.err == nil && r.closing && len(r.outstanding) > 0 {
+		return errAgentClosed
+	}
+	return r.err
+}
 
 // Stats exposes the source node counters.
 func (r *RemoteAgent) Stats() core.SourceStats { return r.agent.Stats() }
 
-// Close tears down the connection.
-func (r *RemoteAgent) Close() error { return r.conn.Close() }
+// Close tears down the connection after a best-effort flush and waits
+// for the reader to exit. Use Drain first when every update must be
+// confirmed delivered.
+func (r *RemoteAgent) Close() error {
+	r.mu.Lock()
+	r.closing = true
+	if r.err == nil && r.w.Buffered() > 0 {
+		r.w.Flush()
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	err := r.conn.Close()
+	<-r.readerDone
+	return err
+}
 
-// QueryClient asks a TCPServer for current query answers.
+// QueryClient asks a TCPServer for current query answers over the
+// binary protocol, one synchronous request/response at a time.
 type QueryClient struct {
 	conn net.Conn
 	mu   sync.Mutex
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	w    *wire.Writer
+	r    *wire.Reader
 }
 
-// DialQuery connects a query client to the server at addr.
+// DialQuery connects a query client to the server at addr and validates
+// the protocol preamble.
 func DialQuery(addr string) (*QueryClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dsms: dial: %w", err)
 	}
-	return &QueryClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	q := &QueryClient{conn: conn, w: wire.NewWriter(conn, 0, 0), r: wire.NewReader(conn, 0, 0)}
+	if err := q.w.WritePreamble(wire.Version); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dsms: send: %w", err)
+	}
+	if err := q.w.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dsms: send: %w", err)
+	}
+	ver, err := q.r.ReadPreamble()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dsms: handshake: %w", err)
+	}
+	if err := wire.CheckVersion(ver); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dsms: handshake: %w", err)
+	}
+	return q, nil
 }
 
 // Ask evaluates queryID at reading index seq.
 func (q *QueryClient) Ask(queryID string, seq int) ([]float64, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if err := q.enc.Encode(envelope{Type: msgQuery, QueryID: queryID, Seq: seq}); err != nil {
+	if err := q.w.Query(queryID, int64(seq)); err != nil {
 		return nil, fmt.Errorf("dsms: send: %w", err)
 	}
-	var in envelope
-	if err := q.dec.Decode(&in); err != nil {
-		return nil, fmt.Errorf("dsms: receive: %w", err)
+	if err := q.w.Flush(); err != nil {
+		return nil, fmt.Errorf("dsms: send: %w", err)
 	}
-	if in.Type == msgError {
-		return nil, fmt.Errorf("dsms: server error: %s", in.Err)
+	tag, p, err := q.r.Next()
+	if err != nil {
+		return nil, recvErr(err)
 	}
-	if in.Type != msgAnswer {
-		return nil, fmt.Errorf("dsms: expected answer, got %q", in.Type)
+	switch tag {
+	case wire.TagAnswer:
+		_, vals, err := wire.DecodeAnswer(p)
+		if err != nil {
+			return nil, fmt.Errorf("dsms: %w", err)
+		}
+		return vals, nil
+	case wire.TagError:
+		msg, _ := wire.DecodeError(p)
+		return nil, fmt.Errorf("dsms: server error: %s", msg)
+	default:
+		return nil, fmt.Errorf("dsms: expected answer, got %v", tag)
 	}
-	return in.Values, nil
 }
 
 // Close tears down the connection.

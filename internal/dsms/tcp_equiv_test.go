@@ -1,0 +1,92 @@
+package dsms
+
+import (
+	"math"
+	"testing"
+
+	"streamkf/internal/gen"
+	"streamkf/internal/stream"
+)
+
+// TestTCPPipelinedEquivalence replays one stream through the old
+// synchronous-ack semantics (window=1: every update waits for its ack)
+// and through the pipelined window (window=64), plus the in-process
+// reference, and requires bit-identical server-side trajectories:
+// identical update/suppression counts and identical query answers at
+// every checkpoint. Pipelining cannot change DKF behavior because
+// suppression decisions are made source-side against the mirror filter
+// — ack latency is invisible to them — and the server folds updates in
+// sequence order either way.
+func TestTCPPipelinedEquivalence(t *testing.T) {
+	data := gen.Ramp(600, 5, 1.7, 0.8, 23)
+	checkpoints := []int{99, 250, 599}
+
+	type result struct {
+		updates    int
+		suppressed int
+		answers    [][]float64
+	}
+	run := func(window int) result {
+		catalog := testCatalog()
+		s := NewServer(catalog)
+		mustRegister(t, s, stream.Query{ID: "q1", SourceID: "src", Delta: 2, Model: "linear"})
+		ts := startServer(t, s)
+		agent, err := DialSourceOptions(ts.Addr(), "src", catalog, DialOptions{Window: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer agent.Close()
+		qc, err := DialQuery(ts.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer qc.Close()
+		// Replay with mid-stream queries at each checkpoint: drain the
+		// pipeline, then ask — the trajectory up to that point must
+		// already be folded in, exactly as the synchronous protocol
+		// would have it.
+		var res result
+		next := 0
+		for _, cp := range checkpoints {
+			for ; next <= cp; next++ {
+				if _, err := agent.Offer(data[next]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := agent.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			ans, err := qc.Ask("q1", cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.answers = append(res.answers, ans)
+		}
+		st := agent.Stats()
+		res.updates, res.suppressed = st.Updates, st.Suppressed
+		return res
+	}
+
+	sync := run(1)
+	pipelined := run(DefaultWindow)
+
+	if sync.updates != pipelined.updates || sync.suppressed != pipelined.suppressed {
+		t.Fatalf("protocol counters diverge: sync ack %d/%d, pipelined %d/%d (updates/suppressed)",
+			sync.updates, pipelined.updates, sync.suppressed, pipelined.suppressed)
+	}
+	if sync.updates == 0 || sync.suppressed == 0 {
+		t.Fatalf("degenerate stream: updates=%d suppressed=%d", sync.updates, sync.suppressed)
+	}
+	for i := range checkpoints {
+		a, b := sync.answers[i], pipelined.answers[i]
+		if len(a) != len(b) {
+			t.Fatalf("checkpoint %d: answer lengths %d vs %d", checkpoints[i], len(a), len(b))
+		}
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("checkpoint seq %d attr %d: sync ack %v, pipelined %v — trajectories diverged",
+					checkpoints[i], j, a[j], b[j])
+			}
+		}
+	}
+}

@@ -2,10 +2,12 @@ package dsms
 
 import (
 	"math"
+	"net"
 	"strings"
 	"sync"
 	"testing"
 
+	"streamkf/internal/dsms/wire"
 	"streamkf/internal/gen"
 	"streamkf/internal/stream"
 )
@@ -123,7 +125,41 @@ func TestTCPMultipleSourcesConcurrently(t *testing.T) {
 			errs <- agent.Run(stream.NewSliceSource(gen.Ramp(200, float64(i*100), 1.5, 0.05, int64(i))))
 		}(i, id)
 	}
+	// Query clients hammer the server while the pipelined agents
+	// stream. Asking at seq 0 never advances a filter past an in-flight
+	// update, so this is safe concurrency, not a protocol violation.
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			qc, err := DialQuery(ts.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer qc.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, id := range ids {
+					// Errors are expected before a source bootstraps;
+					// only a dead connection fails the test.
+					if _, err := qc.Ask("q-"+id, 0); err != nil && strings.Contains(err.Error(), "receive") {
+						t.Errorf("query conn died mid-stream: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
 	wg.Wait()
+	close(stop)
+	qwg.Wait()
 	close(errs)
 	for err := range errs {
 		if err != nil {
@@ -156,25 +192,48 @@ func TestTCPMultipleSourcesConcurrently(t *testing.T) {
 	}
 }
 
-func TestTCPServerRejectsGarbageType(t *testing.T) {
+func TestTCPServerRejectsUnknownTag(t *testing.T) {
 	ts := startServer(t, NewServer(testCatalog()))
-	qc, err := DialQuery(ts.Addr())
+	conn, err := net.Dial("tcp", ts.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer qc.Close()
-	qc.mu.Lock()
-	if err := qc.enc.Encode(envelope{Type: "bogus"}); err != nil {
-		qc.mu.Unlock()
+	defer conn.Close()
+	if err := wire.WritePreamble(conn, wire.Version); err != nil {
 		t.Fatal(err)
 	}
-	var in envelope
-	if err := qc.dec.Decode(&in); err != nil {
-		qc.mu.Unlock()
+	// A well-formed frame with an unassigned tag.
+	if _, err := conn.Write([]byte{1, 0, 0, 0, 0x7f}); err != nil {
 		t.Fatal(err)
 	}
-	qc.mu.Unlock()
-	if in.Type != msgError || !strings.Contains(in.Err, "unknown message type") {
-		t.Fatalf("reply = %+v, want unknown-type error", in)
+	r := wire.NewReader(conn, 0, 0)
+	if _, err := r.ReadPreamble(); err != nil {
+		t.Fatal(err)
+	}
+	tag, p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := wire.DecodeError(p)
+	if tag != wire.TagError || !strings.Contains(msg, "unknown message tag") {
+		t.Fatalf("reply = %v %q, want unknown-tag error", tag, msg)
+	}
+	// The connection must survive an unknown tag: a query still works
+	// on the same conn (it errors on the unknown id, proving the server
+	// processed it).
+	w := wire.NewWriter(conn, 0, 0)
+	if err := w.Query("missing", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tag, p, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ = wire.DecodeError(p)
+	if tag != wire.TagError || !strings.Contains(msg, "unknown query") {
+		t.Fatalf("reply after unknown tag = %v %q, want unknown-query error", tag, msg)
 	}
 }

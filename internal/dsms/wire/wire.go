@@ -1,0 +1,576 @@
+// Package wire implements the compact binary framing protocol spoken
+// between dsms source agents, query clients, and the central TCP
+// server. It replaces the reflection-driven gob envelope protocol: every
+// message is a length-prefixed frame with a one-byte tag and fixed-width
+// little-endian fields, so steady-state update frames encode and decode
+// with zero allocations into per-connection scratch buffers.
+//
+// A connection opens with a 6-byte preamble in each direction — 4 magic
+// bytes, a protocol version, and a reserved byte — so a peer speaking
+// the wrong protocol (or a future incompatible version) is rejected with
+// a clear error instead of an opaque decode failure. Frames follow:
+//
+//	uint32 LE  length   (tag + payload bytes; never 0, capped by MaxFrame)
+//	uint8      tag
+//	[]byte     payload  (length-1 bytes, layout per tag)
+//
+// See DESIGN.md "Wire protocol" for the byte-by-byte payload layouts.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"streamkf/internal/core"
+)
+
+// Version is the protocol version this package speaks. Peers with a
+// different version are rejected during the preamble exchange.
+const Version byte = 1
+
+// DefaultMaxFrame caps the accepted frame length (tag + payload). A
+// frame announcing a larger length is rejected before any payload is
+// read, bounding per-connection memory.
+const DefaultMaxFrame = 1 << 20
+
+// Magic opens every connection. It spells "DKFW" (Dual Kalman Filter
+// Wire) and deliberately collides with no common plaintext protocol.
+var Magic = [4]byte{'D', 'K', 'F', 'W'}
+
+const preambleLen = 6 // magic + version + reserved
+
+// Tag identifies a frame's message type.
+type Tag byte
+
+// Frame tags. The hello→install exchange installs a source's filter
+// configuration; update/ack carry the pipelined DKF update stream;
+// query/answer serve value queries; errmsg reports any server-side
+// failure.
+const (
+	TagHello   Tag = 0x01 // client → server: sourceID
+	TagInstall Tag = 0x02 // server → client: filter configuration
+	TagUpdate  Tag = 0x03 // client → server: one core.Update
+	TagAck     Tag = 0x04 // server → client: cumulative acked sequence
+	TagQuery   Tag = 0x05 // client → server: queryID at seq
+	TagAnswer  Tag = 0x06 // server → client: query result values
+	TagError   Tag = 0x07 // server → client: failure description
+)
+
+// String names the tag for diagnostics.
+func (t Tag) String() string {
+	switch t {
+	case TagHello:
+		return "hello"
+	case TagInstall:
+		return "install"
+	case TagUpdate:
+		return "update"
+	case TagAck:
+		return "ack"
+	case TagQuery:
+		return "query"
+	case TagAnswer:
+		return "answer"
+	case TagError:
+		return "error"
+	default:
+		return fmt.Sprintf("tag(0x%02x)", byte(t))
+	}
+}
+
+// ErrBadMagic reports a peer that is not speaking the streamkf wire
+// protocol at all.
+var ErrBadMagic = errors.New("wire: bad magic: peer is not speaking the streamkf wire protocol")
+
+// ErrMalformed reports a frame whose payload does not parse under its
+// tag's layout.
+var ErrMalformed = errors.New("wire: malformed frame")
+
+// VersionError reports a peer speaking an incompatible protocol version.
+type VersionError struct {
+	Got  byte // the peer's version
+	Want byte // the version this side speaks
+}
+
+// Error implements error.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("wire: unsupported protocol version %d (speaking %d)", e.Got, e.Want)
+}
+
+// FrameSizeError reports a frame announcing a length beyond the
+// configured cap.
+type FrameSizeError struct {
+	Len uint32
+	Max uint32
+}
+
+// Error implements error.
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("wire: frame length %d exceeds limit %d", e.Len, e.Max)
+}
+
+// WritePreamble sends the magic/version preamble. Tests may send a
+// non-current version to exercise rejection.
+func WritePreamble(w io.Writer, version byte) error {
+	var p [preambleLen]byte
+	copy(p[:4], Magic[:])
+	p[4] = version
+	if _, err := w.Write(p[:]); err != nil {
+		return fmt.Errorf("wire: write preamble: %w", err)
+	}
+	return nil
+}
+
+// ReadPreamble consumes and validates the peer's preamble, returning its
+// protocol version. The caller decides whether the version is
+// acceptable (CheckVersion implements strict equality).
+func ReadPreamble(r io.Reader) (byte, error) {
+	var p [preambleLen]byte
+	if _, err := io.ReadFull(r, p[:]); err != nil {
+		return 0, mapReadErr(err, false)
+	}
+	if [4]byte(p[:4]) != Magic {
+		return 0, ErrBadMagic
+	}
+	return p[4], nil
+}
+
+// CheckVersion rejects any peer version other than ours.
+func CheckVersion(got byte) error {
+	if got != Version {
+		return &VersionError{Got: got, Want: Version}
+	}
+	return nil
+}
+
+// mapReadErr classifies a short read: a clean EOF at a message boundary
+// becomes core.ErrPeerClosed, an EOF inside a message becomes
+// core.ErrTruncated. midMessage forces the truncation classification for
+// reads that began after a frame header was already consumed.
+func mapReadErr(err error, midMessage bool) error {
+	if errors.Is(err, io.EOF) && !midMessage {
+		return core.ErrPeerClosed
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", core.ErrTruncated, err)
+	}
+	return err
+}
+
+// Writer frames and buffers outbound messages. All methods append to an
+// internal bufio buffer; nothing reaches the connection until Flush (or
+// the buffer overflows). Encoding reuses one scratch buffer, so
+// steady-state update frames allocate nothing.
+//
+// Writer is not safe for concurrent use; callers serialize access.
+type Writer struct {
+	bw      *bufio.Writer
+	scratch []byte
+	max     uint32
+}
+
+// NewWriter wraps w. bufSize <= 0 picks a default sized for a full
+// default send window; maxFrame <= 0 uses DefaultMaxFrame.
+func NewWriter(w io.Writer, bufSize int, maxFrame int) *Writer {
+	if bufSize <= 0 {
+		bufSize = 8192
+	}
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Writer{bw: bufio.NewWriterSize(w, bufSize), max: uint32(maxFrame)}
+}
+
+// WritePreamble buffers this side's preamble.
+func (w *Writer) WritePreamble(version byte) error {
+	var p [preambleLen]byte
+	copy(p[:4], Magic[:])
+	p[4] = version
+	_, err := w.bw.Write(p[:])
+	return err
+}
+
+// Flush pushes all buffered frames to the connection.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Buffered returns the number of bytes waiting for a Flush.
+func (w *Writer) Buffered() int { return w.bw.Buffered() }
+
+// begin resets the scratch buffer with a frame header placeholder.
+func (w *Writer) begin(tag Tag) {
+	w.scratch = append(w.scratch[:0], 0, 0, 0, 0, byte(tag))
+}
+
+// finish patches the length prefix and writes the frame into the buffer.
+func (w *Writer) finish() error {
+	n := uint32(len(w.scratch) - 4) // tag + payload
+	if n > w.max {
+		return &FrameSizeError{Len: n, Max: w.max}
+	}
+	binary.LittleEndian.PutUint32(w.scratch[:4], n)
+	_, err := w.bw.Write(w.scratch)
+	return err
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}
+
+func appendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendString(b []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return b, fmt.Errorf("wire: string field of %d bytes exceeds %d", len(s), math.MaxUint16)
+	}
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...), nil
+}
+
+// Hello buffers the source handshake request.
+func (w *Writer) Hello(sourceID string) error {
+	w.begin(TagHello)
+	var err error
+	if w.scratch, err = appendString(w.scratch, sourceID); err != nil {
+		return err
+	}
+	return w.finish()
+}
+
+// Install buffers the server's handshake reply: the filter configuration
+// the connecting source must run.
+func (w *Writer) Install(sourceID, model string, delta, f float64) error {
+	w.begin(TagInstall)
+	var err error
+	if w.scratch, err = appendString(w.scratch, sourceID); err != nil {
+		return err
+	}
+	if w.scratch, err = appendString(w.scratch, model); err != nil {
+		return err
+	}
+	w.scratch = appendF64(w.scratch, delta)
+	w.scratch = appendF64(w.scratch, f)
+	return w.finish()
+}
+
+// Update buffers one DKF update frame. Seq travels as int64 so 32-bit
+// sources and 64-bit servers agree on the encoding.
+func (w *Writer) Update(u *core.Update) error {
+	w.begin(TagUpdate)
+	var err error
+	if w.scratch, err = appendString(w.scratch, u.SourceID); err != nil {
+		return err
+	}
+	if len(u.Values) > math.MaxUint16 {
+		return fmt.Errorf("wire: update with %d values exceeds %d", len(u.Values), math.MaxUint16)
+	}
+	w.scratch = appendI64(w.scratch, int64(u.Seq))
+	w.scratch = appendF64(w.scratch, u.Time)
+	var flags byte
+	if u.Bootstrap {
+		flags |= 1
+	}
+	w.scratch = append(w.scratch, flags)
+	w.scratch = appendU16(w.scratch, uint16(len(u.Values)))
+	for _, v := range u.Values {
+		w.scratch = appendF64(w.scratch, v)
+	}
+	return w.finish()
+}
+
+// Ack buffers a cumulative acknowledgement: every update with sequence
+// number <= seq has been folded into the server filter.
+func (w *Writer) Ack(seq int64) error {
+	w.begin(TagAck)
+	w.scratch = appendI64(w.scratch, seq)
+	return w.finish()
+}
+
+// Query buffers a value-query request.
+func (w *Writer) Query(queryID string, seq int64) error {
+	w.begin(TagQuery)
+	var err error
+	if w.scratch, err = appendString(w.scratch, queryID); err != nil {
+		return err
+	}
+	w.scratch = appendI64(w.scratch, seq)
+	return w.finish()
+}
+
+// Answer buffers a query result.
+func (w *Writer) Answer(queryID string, values []float64) error {
+	w.begin(TagAnswer)
+	var err error
+	if w.scratch, err = appendString(w.scratch, queryID); err != nil {
+		return err
+	}
+	if len(values) > math.MaxUint16 {
+		return fmt.Errorf("wire: answer with %d values exceeds %d", len(values), math.MaxUint16)
+	}
+	w.scratch = appendU16(w.scratch, uint16(len(values)))
+	for _, v := range values {
+		w.scratch = appendF64(w.scratch, v)
+	}
+	return w.finish()
+}
+
+// Error buffers a failure report. Messages beyond 64 KiB are truncated
+// rather than rejected — an error path must not fail on length.
+func (w *Writer) Error(msg string) error {
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	w.begin(TagError)
+	w.scratch, _ = appendString(w.scratch, msg)
+	return w.finish()
+}
+
+// Reader decodes inbound frames. Next returns the payload in a buffer
+// reused across calls; decode the frame before reading the next one.
+// Source and query ids repeat per connection, so a one-entry intern
+// cache makes steady-state update decoding allocation-free.
+//
+// Reader is not safe for concurrent use.
+type Reader struct {
+	br      *bufio.Reader
+	hdr     [5]byte // frame header scratch; a field so io.ReadFull cannot leak it to the heap
+	payload []byte
+	max     uint32
+	lastID  string // intern cache for Update.SourceID
+	lastQID string // intern cache for query ids
+}
+
+// NewReader wraps r. bufSize <= 0 picks a default; maxFrame <= 0 uses
+// DefaultMaxFrame.
+func NewReader(r io.Reader, bufSize int, maxFrame int) *Reader {
+	if bufSize <= 0 {
+		bufSize = 8192
+	}
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Reader{br: bufio.NewReaderSize(r, bufSize), max: uint32(maxFrame)}
+}
+
+// ReadPreamble consumes and validates the peer's preamble.
+func (r *Reader) ReadPreamble() (byte, error) {
+	return ReadPreamble(r.br)
+}
+
+// Buffered reports how many received bytes wait to be parsed. The
+// server uses it to coalesce acks: it flushes acknowledgements only when
+// no further frames are already in hand.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// Next reads one frame, returning its tag and payload. The payload
+// slice is only valid until the following Next call. A clean EOF at a
+// frame boundary returns core.ErrPeerClosed; a connection dropped
+// mid-frame returns core.ErrTruncated.
+func (r *Reader) Next() (Tag, []byte, error) {
+	if _, err := io.ReadFull(r.br, r.hdr[:]); err != nil {
+		// A partial header is a truncation, not a clean close.
+		return 0, nil, mapReadErr(err, errors.Is(err, io.ErrUnexpectedEOF))
+	}
+	n := binary.LittleEndian.Uint32(r.hdr[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrMalformed)
+	}
+	if n > r.max {
+		return 0, nil, &FrameSizeError{Len: n, Max: r.max}
+	}
+	tag := Tag(r.hdr[4])
+	plen := int(n - 1)
+	if cap(r.payload) < plen {
+		r.payload = make([]byte, plen)
+	}
+	p := r.payload[:plen]
+	if _, err := io.ReadFull(r.br, p); err != nil {
+		return 0, nil, mapReadErr(err, true)
+	}
+	return tag, p, nil
+}
+
+// internID returns a string equal to b, reusing the cached copy when the
+// bytes repeat (they always do: one source per connection).
+func internID(cache *string, b []byte) string {
+	if *cache != string(b) {
+		*cache = string(b)
+	}
+	return *cache
+}
+
+// cur is a bounds-checked decode cursor over a frame payload.
+type cur struct {
+	b   []byte
+	off int
+	ok  bool
+}
+
+func newCur(p []byte) cur { return cur{b: p, ok: true} }
+
+func (c *cur) take(n int) []byte {
+	if !c.ok || c.off+n > len(c.b) {
+		c.ok = false
+		return nil
+	}
+	s := c.b[c.off : c.off+n]
+	c.off += n
+	return s
+}
+
+func (c *cur) u8() byte {
+	s := c.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (c *cur) u16() uint16 {
+	s := c.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (c *cur) i64() int64 {
+	s := c.take(8)
+	if s == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(s))
+}
+
+func (c *cur) f64() float64 {
+	s := c.take(8)
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(s))
+}
+
+func (c *cur) str() []byte {
+	n := int(c.u16())
+	return c.take(n)
+}
+
+// done reports a fully and exactly consumed payload.
+func (c *cur) done() bool { return c.ok && c.off == len(c.b) }
+
+func malformed(tag Tag) error {
+	return fmt.Errorf("%w: bad %v payload", ErrMalformed, tag)
+}
+
+// DecodeHello parses a hello payload.
+func DecodeHello(p []byte) (sourceID string, err error) {
+	c := newCur(p)
+	id := c.str()
+	if !c.done() {
+		return "", malformed(TagHello)
+	}
+	return string(id), nil
+}
+
+// Install is the decoded handshake reply.
+type Install struct {
+	SourceID string
+	Model    string
+	Delta    float64
+	F        float64
+}
+
+// DecodeInstall parses an install payload.
+func DecodeInstall(p []byte) (Install, error) {
+	c := newCur(p)
+	id := c.str()
+	model := c.str()
+	delta := c.f64()
+	f := c.f64()
+	if !c.done() {
+		return Install{}, malformed(TagInstall)
+	}
+	return Install{SourceID: string(id), Model: string(model), Delta: delta, F: f}, nil
+}
+
+// DecodeUpdate parses an update payload into u, reusing u.Values and the
+// reader's source-id intern cache so steady-state decoding allocates
+// nothing.
+func (r *Reader) DecodeUpdate(p []byte, u *core.Update) error {
+	c := newCur(p)
+	id := c.str()
+	seq := c.i64()
+	tim := c.f64()
+	flags := c.u8()
+	n := int(c.u16())
+	vals := c.take(8 * n)
+	if !c.done() || id == nil {
+		return malformed(TagUpdate)
+	}
+	u.SourceID = internID(&r.lastID, id)
+	u.Seq = int(seq)
+	u.Time = tim
+	u.Bootstrap = flags&1 != 0
+	u.Values = u.Values[:0]
+	for i := 0; i < n; i++ {
+		u.Values = append(u.Values, math.Float64frombits(binary.LittleEndian.Uint64(vals[8*i:])))
+	}
+	return nil
+}
+
+// DecodeAck parses a cumulative ack payload.
+func DecodeAck(p []byte) (seq int64, err error) {
+	c := newCur(p)
+	seq = c.i64()
+	if !c.done() {
+		return 0, malformed(TagAck)
+	}
+	return seq, nil
+}
+
+// DecodeQuery parses a query payload, interning the repeated query id.
+func (r *Reader) DecodeQuery(p []byte) (queryID string, seq int64, err error) {
+	c := newCur(p)
+	id := c.str()
+	seq = c.i64()
+	if !c.done() || id == nil {
+		return "", 0, malformed(TagQuery)
+	}
+	return internID(&r.lastQID, id), seq, nil
+}
+
+// DecodeAnswer parses an answer payload. The values slice is freshly
+// allocated: answers are handed to callers who retain them.
+func DecodeAnswer(p []byte) (queryID string, values []float64, err error) {
+	c := newCur(p)
+	id := c.str()
+	n := int(c.u16())
+	raw := c.take(8 * n)
+	if !c.done() || id == nil {
+		return "", nil, malformed(TagAnswer)
+	}
+	values = make([]float64, n)
+	for i := range values {
+		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return string(id), values, nil
+}
+
+// DecodeError parses an error payload.
+func DecodeError(p []byte) (msg string, err error) {
+	c := newCur(p)
+	m := c.str()
+	if !c.done() {
+		return "", malformed(TagError)
+	}
+	return string(m), nil
+}

@@ -280,12 +280,16 @@ type (
 	Catalog = dsms.Catalog
 	// Agent is the in-process source agent.
 	Agent = dsms.Agent
-	// TCPServer exposes a DSMSServer over gob/TCP.
+	// TCPServer exposes a DSMSServer over the binary framed wire
+	// protocol.
 	TCPServer = dsms.TCPServer
-	// RemoteAgent is a TCP-connected source agent.
+	// RemoteAgent is a TCP-connected source agent with pipelined,
+	// window-limited update delivery.
 	RemoteAgent = dsms.RemoteAgent
 	// QueryClient asks a TCPServer for answers.
 	QueryClient = dsms.QueryClient
+	// DialOptions tunes a RemoteAgent connection (ack window, frame cap).
+	DialOptions = dsms.DialOptions
 )
 
 // NewCatalog returns an empty model catalog.
@@ -309,6 +313,11 @@ func NewTCPServer(server *DSMSServer, addr string) (*TCPServer, error) {
 // DialSource connects a source agent to a TCP server.
 func DialSource(addr, sourceID string, catalog *Catalog) (*RemoteAgent, error) {
 	return dsms.DialSource(addr, sourceID, catalog)
+}
+
+// DialSourceOptions connects a source agent with an explicit ack window.
+func DialSourceOptions(addr, sourceID string, catalog *Catalog, opts DialOptions) (*RemoteAgent, error) {
+	return dsms.DialSourceOptions(addr, sourceID, catalog, opts)
 }
 
 // DialQuery connects a query client to a TCP server.
