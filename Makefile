@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-net check baseline
+.PHONY: build test race vet bench bench-net check baseline profile-cpu profile-heap
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,11 @@ check: build vet test race
 # (see DESIGN.md §7; numbers are machine-dependent).
 baseline:
 	$(GO) test -run '^$$' -bench 'BenchmarkFilterStep|BenchmarkServerIngestParallel|BenchmarkDKFStepLinear2D' -benchmem -count 1 ./ | tee /tmp/bench.out
+
+# Profile a live server under generated load via the admin endpoint's
+# /debug/pprof (see DESIGN.md §9). Writes /tmp/dkf-{cpu,heap}.pprof.
+profile-cpu:
+	GO=$(GO) sh scripts/profile.sh cpu
+
+profile-heap:
+	GO=$(GO) sh scripts/profile.sh heap

@@ -1,0 +1,74 @@
+// Allocation-budget regression gates for the hot paths pinned by
+// BENCH_BASELINE.json: the Kalman predict/correct step must stay
+// allocation-free even as instrumentation accretes around it. CI runs
+// these as plain tests so a regression fails the build instead of
+// silently drifting a benchmark number.
+package streamkf_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"streamkf/internal/mat"
+	"streamkf/internal/model"
+)
+
+func filterStepBudgets(t *testing.T) map[string]int64 {
+	t.Helper()
+	raw, err := os.ReadFile("BENCH_BASELINE.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks map[string]struct {
+			AllocsPerOp int64 `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parse BENCH_BASELINE.json: %v", err)
+	}
+	out := make(map[string]int64, len(doc.Benchmarks))
+	for name, b := range doc.Benchmarks {
+		out[name] = b.AllocsPerOp
+	}
+	return out
+}
+
+func TestFilterStepAllocBudget(t *testing.T) {
+	budgets := filterStepBudgets(t)
+	cases := []struct {
+		name string
+		m    model.Model
+		z    []float64
+	}{
+		{"BenchmarkFilterStep/scalar", model.Constant(1, 0.05, 0.05), []float64{1.5}},
+		{"BenchmarkFilterStep/linear1d", model.Linear(1, 1, 0.05, 0.05), []float64{1.5}},
+		{"BenchmarkFilterStep/linear2d", model.Linear(2, 0.1, 0.05, 0.05), []float64{1.5, -0.5}},
+	}
+	for _, tc := range cases {
+		budget, ok := budgets[tc.name]
+		if !ok {
+			t.Fatalf("BENCH_BASELINE.json has no %s entry", tc.name)
+		}
+		f, err := tc.m.NewFilter(tc.z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := mat.Vec(tc.z...)
+		// Warm up so one-time lazy allocations do not count.
+		for i := 0; i < 3; i++ {
+			if err := f.Step(z); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := int64(testing.AllocsPerRun(200, func() {
+			if err := f.Step(z); err != nil {
+				t.Fatal(err)
+			}
+		}))
+		if got > budget {
+			t.Errorf("%s allocates %d/op, budget %d/op (BENCH_BASELINE.json)", tc.name, got, budget)
+		}
+	}
+}

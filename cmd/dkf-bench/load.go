@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"streamkf/internal/dsms"
+	"streamkf/internal/gen"
+	"streamkf/internal/stream"
+)
+
+// loadConfig drives concurrent source agents against a live dkf-server
+// so its admin endpoint has real traffic to profile. The server must be
+// started with one query per source id, e.g. for -sources 2 -prefix load-:
+//
+//	dkf-server -query q0:load-0:linear:0.5 -query q1:load-1:linear:0.5
+type loadConfig struct {
+	server  string
+	prefix  string
+	sources int
+	n       int
+	window  int
+	rate    time.Duration
+}
+
+func runLoad(cfg loadConfig) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.sources)
+	start := time.Now()
+	for i := 0; i < cfg.sources; i++ {
+		id := fmt.Sprintf("%s%d", cfg.prefix, i)
+		// Distinct seeds so streams do not suppress in lockstep.
+		data := gen.Ramp(cfg.n, float64(i), 2, 0.3, int64(i)+1)
+		wg.Add(1)
+		go func(id string, data []stream.Reading) {
+			defer wg.Done()
+			errs <- streamLoad(cfg, id, data)
+		}(id, data)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("load done: %d sources x %d readings in %v\n",
+		cfg.sources, cfg.n, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func streamLoad(cfg loadConfig, id string, data []stream.Reading) error {
+	agent, err := dsms.DialSourceOptions(cfg.server, id, dsms.DefaultCatalog(1.0), dsms.DialOptions{Window: cfg.window})
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", id, err)
+	}
+	defer agent.Close()
+	for _, r := range data {
+		if _, err := agent.Offer(r); err != nil {
+			return fmt.Errorf("%s offer seq %d: %w", id, r.Seq, err)
+		}
+		if cfg.rate > 0 {
+			time.Sleep(cfg.rate)
+		}
+	}
+	if err := agent.Drain(); err != nil {
+		return fmt.Errorf("%s drain: %w", id, err)
+	}
+	st := agent.Stats()
+	fmt.Printf("%-12s readings=%d updates=%d (%.2f%%) suppressed=%d bytes=%d\n",
+		id, st.Readings, st.Updates,
+		100*float64(st.Updates)/float64(st.Readings), st.Suppressed, st.BytesSent)
+	return nil
+}

@@ -17,26 +17,37 @@ import (
 
 	"streamkf/internal/core"
 	"streamkf/internal/dsms"
+	"streamkf/internal/telemetry"
 )
 
 func main() {
 	var (
-		server = flag.String("server", "127.0.0.1:7474", "dkf-server address")
-		query  = flag.String("query", "", "query id to evaluate (comma-separate for several)")
-		seq    = flag.Int("seq", 0, "reading index to evaluate at")
-		watch  = flag.Duration("watch", 0, "poll interval (0 = ask once)")
+		server   = flag.String("server", "127.0.0.1:7474", "dkf-server address")
+		query    = flag.String("query", "", "query id to evaluate (comma-separate for several)")
+		seq      = flag.Int("seq", 0, "reading index to evaluate at")
+		watch    = flag.Duration("watch", 0, "poll interval (0 = ask once)")
+		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
 	)
 	flag.Parse()
 
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dkf-query: %v\n", err)
+		os.Exit(2)
+	}
+	// Diagnostics go to stderr via slog; query answers stay on stdout so
+	// the output remains pipeable.
+	logger := telemetry.NewLogger(os.Stderr, level)
+
 	if *query == "" {
-		fmt.Fprintln(os.Stderr, "dkf-query: -query is required")
+		logger.Error("-query is required")
 		os.Exit(2)
 	}
 	ids := strings.Split(*query, ",")
 
 	qc, err := dsms.DialQuery(*server)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dkf-query: %v\n", err)
+		logger.Error("dial failed", "server", *server, "err", err)
 		os.Exit(1)
 	}
 	defer qc.Close()
@@ -49,10 +60,10 @@ func main() {
 				// A dead connection ends the session; a per-query
 				// error (unknown id, no bootstrap yet) does not.
 				if errors.Is(err, core.ErrPeerClosed) || errors.Is(err, core.ErrTruncated) {
-					fmt.Fprintf(os.Stderr, "dkf-query: %v\n", err)
+					logger.Error("connection lost", "err", err)
 					os.Exit(1)
 				}
-				fmt.Printf("%-16s seq=%-8d error: %v\n", id, at, err)
+				logger.Warn("query error", "query", id, "seq", at, "err", err)
 				continue
 			}
 			fmt.Printf("%-16s seq=%-8d %v\n", id, at, vals)

@@ -1,10 +1,13 @@
 // Command dkf-server runs the central DSMS node over TCP: it registers
 // the continuous queries given on the command line, listens for source
-// agents (see cmd/dkf-source) and answers query clients.
+// agents (see cmd/dkf-source) and answers query clients. A second HTTP
+// listener (-admin) exposes the observability surface: /metrics
+// (Prometheus text), /healthz, /streamz (per-stream JSON incl. filter
+// health), and /debug/pprof.
 //
 // Usage:
 //
-//	dkf-server -listen 127.0.0.1:7474 \
+//	dkf-server -listen 127.0.0.1:7474 -admin 127.0.0.1:7475 \
 //	    -query q1:sensor-a:linear:2.0 \
 //	    -query q2:sensor-b:constant:5.0:1e-7
 //
@@ -26,6 +29,7 @@ import (
 	"streamkf/internal/cql"
 	"streamkf/internal/dsms"
 	"streamkf/internal/stream"
+	"streamkf/internal/telemetry"
 )
 
 type stringsFlag []string
@@ -65,6 +69,8 @@ func (q *queryFlags) Set(s string) error {
 func main() {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:7474", "address to listen on")
+		admin      = flag.String("admin", "127.0.0.1:7475", "admin HTTP address for /metrics, /healthz, /streamz, /debug/pprof (empty disables)")
+		logLevel   = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		dt         = flag.Float64("dt", 1.0, "sampling interval assumed by the model catalog")
 		stats      = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 		maxFrame   = flag.Int("maxframe", 0, "max accepted wire frame size in bytes (0 = 1 MiB default)")
@@ -75,8 +81,15 @@ func main() {
 	flag.Var(&statements, "cql", `CQL statement, e.g. "SELECT AVG FROM z1, z2 MODEL linear WITHIN 50 AS load" (repeatable)`)
 	flag.Parse()
 
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dkf-server: %v\n", err)
+		os.Exit(2)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level)
+
 	if len(queries) == 0 && len(statements) == 0 {
-		fmt.Fprintln(os.Stderr, "dkf-server: at least one -query or -cql is required")
+		logger.Error("at least one -query or -cql is required")
 		os.Exit(2)
 	}
 
@@ -84,35 +97,54 @@ func main() {
 	server := dsms.NewServer(catalog)
 	for _, q := range queries {
 		if err := server.Register(q); err != nil {
-			fmt.Fprintf(os.Stderr, "dkf-server: register %s: %v\n", q.ID, err)
+			logger.Error("register query failed", "query", q.ID, "err", err)
 			os.Exit(2)
 		}
+		logger.Info("query registered", "query", q.ID, "source", q.SourceID, "model", q.Model, "delta", q.Delta, "F", q.F)
 	}
 	for _, stmt := range statements {
 		name, err := cql.Install(server, stmt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dkf-server: %v\n", err)
+			logger.Error("CQL install failed", "statement", stmt, "err", err)
 			os.Exit(2)
 		}
-		fmt.Printf("installed CQL query %q\n", name)
+		logger.Info("CQL query installed", "query", name)
 	}
 
 	ts, err := dsms.NewTCPServerOptions(server, *listen, dsms.ServerOptions{MaxFrame: *maxFrame})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dkf-server: %v\n", err)
+		logger.Error("listen failed", "addr", *listen, "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dkf-server listening on %s, models: %s\n", ts.Addr(), strings.Join(catalog.Names(), ", "))
-	for _, q := range queries {
-		fmt.Printf("  query %s over source %s: model=%s δ=%g F=%g\n", q.ID, q.SourceID, q.Model, q.Delta, q.F)
+	logger.Info("dkf-server listening", "addr", ts.Addr(), "models", strings.Join(catalog.Names(), ","))
+
+	var adminSrv *dsms.AdminServer
+	if *admin != "" {
+		adminSrv, err = dsms.ServeAdmin(server, *admin, logger)
+		if err != nil {
+			logger.Error("admin listen failed", "addr", *admin, "err", err)
+			os.Exit(1)
+		}
 	}
 
+	statsStop := make(chan struct{})
 	if *stats > 0 {
 		go func() {
-			for range time.Tick(*stats) {
-				for _, st := range server.Stats() {
-					fmt.Printf("source %-12s queries=%d updates=%d bytes=%d seq=%d\n",
-						st.SourceID, st.Queries, st.Updates, st.Bytes, st.Seq)
+			t := time.NewTicker(*stats)
+			defer t.Stop()
+			for {
+				select {
+				case <-statsStop:
+					return
+				case <-t.C:
+					for _, st := range server.Stats() {
+						logger.Info("source stats",
+							"source", st.SourceID, "queries", st.Queries,
+							"updates", st.Updates, "suppressed", st.Suppressed,
+							"suppression_pct", fmt.Sprintf("%.1f", st.SuppressionPct),
+							"bytes", st.Bytes, "seq", st.Seq,
+							"nis", st.NIS, "healthy", st.Healthy)
+					}
 				}
 			}
 		}()
@@ -122,15 +154,26 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- ts.Serve() }()
+	shutdown := func() {
+		close(statsStop)
+		if adminSrv != nil {
+			if err := adminSrv.Close(); err != nil {
+				logger.Warn("admin close", "err", err)
+			}
+		}
+	}
 	select {
-	case <-sig:
-		fmt.Println("\ndkf-server: shutting down")
+	case s := <-sig:
+		logger.Info("shutting down", "signal", s.String())
 		ts.Close()
 		<-done
+		shutdown()
 	case err := <-done:
+		shutdown()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dkf-server: %v\n", err)
+			logger.Error("serve failed", "err", err)
 			os.Exit(1)
 		}
 	}
+	logger.Info("dkf-server stopped")
 }

@@ -18,44 +18,53 @@ import (
 	"streamkf/internal/dsms"
 	"streamkf/internal/gen"
 	"streamkf/internal/stream"
+	"streamkf/internal/telemetry"
 )
 
 func main() {
 	var (
-		server  = flag.String("server", "127.0.0.1:7474", "dkf-server address")
-		source  = flag.String("source", "", "source object id (must match a registered query)")
-		dataset = flag.String("dataset", "", "movingobject | powerload | httptraffic")
-		csvPath = flag.String("csv", "", "stream readings from this CSV instead of a generator")
-		rate    = flag.Duration("rate", 0, "inter-reading delay (0 = as fast as possible)")
-		dt      = flag.Float64("dt", 1.0, "sampling interval assumed by the model catalog")
-		seed    = flag.Int64("seed", 0, "generator seed override")
-		n       = flag.Int("n", 0, "generator length override")
-		window  = flag.Int("window", dsms.DefaultWindow, "max unacked updates in flight (1 = synchronous ack per update)")
+		server   = flag.String("server", "127.0.0.1:7474", "dkf-server address")
+		source   = flag.String("source", "", "source object id (must match a registered query)")
+		dataset  = flag.String("dataset", "", "movingobject | powerload | httptraffic")
+		csvPath  = flag.String("csv", "", "stream readings from this CSV instead of a generator")
+		rate     = flag.Duration("rate", 0, "inter-reading delay (0 = as fast as possible)")
+		dt       = flag.Float64("dt", 1.0, "sampling interval assumed by the model catalog")
+		seed     = flag.Int64("seed", 0, "generator seed override")
+		n        = flag.Int("n", 0, "generator length override")
+		window   = flag.Int("window", dsms.DefaultWindow, "max unacked updates in flight (1 = synchronous ack per update)")
+		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
 	)
 	flag.Parse()
 
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dkf-source: %v\n", err)
+		os.Exit(2)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level)
+
 	if *source == "" {
-		fmt.Fprintln(os.Stderr, "dkf-source: -source is required")
+		logger.Error("-source is required")
 		os.Exit(2)
 	}
 	data, err := loadData(*dataset, *csvPath, *n, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dkf-source: %v\n", err)
+		logger.Error("load data failed", "err", err)
 		os.Exit(2)
 	}
 
 	agent, err := dsms.DialSourceOptions(*server, *source, dsms.DefaultCatalog(*dt), dsms.DialOptions{Window: *window})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dkf-source: %v\n", err)
+		logger.Error("dial failed", "server", *server, "err", err)
 		os.Exit(1)
 	}
 	defer agent.Close()
-	fmt.Printf("dkf-source %s connected to %s; streaming %d readings (window %d)\n", *source, *server, len(data), *window)
+	logger.Info("connected", "source", *source, "server", *server, "readings", len(data), "window", *window)
 
 	start := time.Now()
 	for _, r := range data {
 		if _, err := agent.Offer(r); err != nil {
-			fmt.Fprintf(os.Stderr, "dkf-source: %v\n", err)
+			logger.Error("offer failed", "seq", r.Seq, "err", err)
 			os.Exit(1)
 		}
 		if *rate > 0 {
@@ -65,14 +74,15 @@ func main() {
 	// Wait until the server has acknowledged every pipelined update
 	// before reporting: the run is not done while updates are in flight.
 	if err := agent.Drain(); err != nil {
-		fmt.Fprintf(os.Stderr, "dkf-source: %v\n", err)
+		logger.Error("drain failed", "err", err)
 		os.Exit(1)
 	}
 	st := agent.Stats()
-	elapsed := time.Since(start)
-	fmt.Printf("done in %v: readings=%d updates=%d (%.2f%%) suppressed=%d bytes=%d\n",
-		elapsed.Round(time.Millisecond), st.Readings, st.Updates,
-		100*float64(st.Updates)/float64(st.Readings), st.Suppressed, st.BytesSent)
+	logger.Info("stream done",
+		"elapsed", time.Since(start).Round(time.Millisecond).String(),
+		"readings", st.Readings, "updates", st.Updates,
+		"sent_pct", fmt.Sprintf("%.2f", 100*float64(st.Updates)/float64(st.Readings)),
+		"suppressed", st.Suppressed, "bytes", st.BytesSent)
 }
 
 func loadData(dataset, csvPath string, n int, seed int64) ([]stream.Reading, error) {

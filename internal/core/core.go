@@ -289,7 +289,20 @@ type ServerNode struct {
 
 	zbuf    *mat.Matrix // reusable measurement buffer for ApplyUpdate
 	predBuf *mat.Matrix // reusable H x buffer for Estimate
+
+	// Filter-health diagnostics over the transmitted-update stream: the
+	// NIS of the latest update against the pre-correction prediction and
+	// a sliding window of innovations for the whiteness statistic. Both
+	// are maintained allocation-free once the window is warm.
+	lastNIS  float64
+	nisValid bool
+	health   *kalman.NoiseEstimator
 }
+
+// healthWindow is the number of recent innovations the per-stream
+// whiteness statistic is computed over. Small enough to track regime
+// changes, large enough that the ±2/√W band is meaningful.
+const healthWindow = 16
 
 // NewServerNode constructs the server side of a DKF pair.
 func NewServerNode(cfg Config) (*ServerNode, error) {
@@ -298,7 +311,13 @@ func NewServerNode(cfg Config) (*ServerNode, error) {
 	}
 	cfg.applyDefaults()
 	m := cfg.Model.MeasDim
-	return &ServerNode{cfg: cfg, zbuf: mat.New(m, 1), predBuf: mat.New(m, 1)}, nil
+	// The estimator is used only for its innovation window (whiteness);
+	// the floor argument is irrelevant but must be positive.
+	health, err := kalman.NewNoiseEstimator(m, healthWindow, 1e-12)
+	if err != nil {
+		return nil, err
+	}
+	return &ServerNode{cfg: cfg, zbuf: mat.New(m, 1), predBuf: mat.New(m, 1), health: health}, nil
 }
 
 // Tick advances the server's prediction by one time step on which no
@@ -363,7 +382,69 @@ func (s *ServerNode) ApplyUpdate(u Update) error {
 		// the dimension error itself, as it always has.
 		z = vec(u.Values)
 	}
-	return s.filter.Correct(z)
+	// Health tap: score the update against the pre-correction prediction.
+	// NIS shares the cached innovation covariance with Correct, so this
+	// adds one quadratic form, no allocation, and no second inversion.
+	if nis, err := s.filter.NIS(z); err == nil {
+		s.lastNIS, s.nisValid = nis, true
+	}
+	if err := s.filter.Correct(z); err != nil {
+		return err
+	}
+	s.health.ObserveFilter(s.filter)
+	return nil
+}
+
+// FilterHealth is the server-side diagnostic snapshot for one stream's
+// filter, derived from the transmitted-update innovation sequence.
+//
+// Transmitted updates are by construction the readings the mirror's
+// prediction missed by more than δ, so their innovations are not an
+// unbiased sample of the full innovation sequence; the whiteness flag is
+// a mis-model detector (persistent one-sided innovations), not a strict
+// χ² consistency test.
+type FilterHealth struct {
+	// NIS is the normalized innovation squared of the latest update
+	// against the pre-correction prediction. Under a correct model it is
+	// χ²(m)-distributed; persistently large values mean the model no
+	// longer explains the stream.
+	NIS float64
+	// NISValid reports whether NIS has been computed (false until the
+	// first non-bootstrap update).
+	NISValid bool
+	// Whiteness is the lag-1 autocorrelation of recent innovations; ~0
+	// for a healthy filter.
+	Whiteness float64
+	// Ready reports whether the whiteness window has filled.
+	Ready bool
+	// Healthy is false when the whiteness window is full and Whiteness
+	// exceeds the +2/√window acceptance bound — the "model mismatch"
+	// gauge exposed per stream on /metrics.
+	//
+	// The test is one-sided because the server only sees δ-censored
+	// innovations: send-on-delta truncates the small ones and the
+	// correction after a drift tends to overshoot alternately, so a
+	// correctly modeled stream shows zero-to-negative lag-1
+	// autocorrelation. A model whose dynamics cannot track the stream
+	// lags it persistently, pushing the innovations the same way update
+	// after update — sustained positive correlation is the mis-model
+	// signature.
+	Healthy bool
+}
+
+// Health returns the stream's current filter-health diagnostics. It is
+// allocation-free and safe to call on every ingest.
+func (s *ServerNode) Health() FilterHealth {
+	h := FilterHealth{NIS: s.lastNIS, NISValid: s.nisValid, Healthy: true}
+	if s.filter == nil {
+		return h
+	}
+	rho, ready := s.health.Whiteness()
+	h.Whiteness, h.Ready = rho, ready
+	if ready && rho > s.health.WhitenessBound() {
+		h.Healthy = false
+	}
+	return h
 }
 
 // Estimate returns the server's current answer for the stream value, or

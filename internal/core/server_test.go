@@ -6,6 +6,7 @@ import (
 
 	"streamkf/internal/gen"
 	"streamkf/internal/kalman"
+	"streamkf/internal/model"
 	"streamkf/internal/stream"
 )
 
@@ -120,5 +121,72 @@ func TestServerExtrapolatesWhileSourceSilent(t *testing.T) {
 	}
 	if math.Abs(est[0]-500) > 5 {
 		t.Fatalf("extrapolated estimate %v, want ~500", est[0])
+	}
+}
+
+func TestServerNodeHealth(t *testing.T) {
+	cfg := linearCfg(0.5)
+	srv, err := NewServerNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Health()
+	if h.NISValid || h.Ready || !h.Healthy {
+		t.Fatalf("pre-bootstrap health = %+v, want zero-valued and healthy", h)
+	}
+	if err := srv.ApplyUpdate(Update{SourceID: "s1", Seq: 0, Values: []float64{0}, Bootstrap: true}); err != nil {
+		t.Fatal(err)
+	}
+	if h := srv.Health(); h.NISValid {
+		t.Fatal("NIS valid after bootstrap alone (no innovation yet)")
+	}
+	// Feed updates every step; the linear model tracks a ramp well, so
+	// NIS becomes available and stays finite.
+	for seq := 1; seq <= healthWindow+2; seq++ {
+		u := Update{SourceID: "s1", Seq: seq, Values: []float64{float64(seq)}}
+		if err := srv.ApplyUpdate(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h = srv.Health()
+	if !h.NISValid {
+		t.Fatal("NIS not valid after non-bootstrap updates")
+	}
+	if !h.Ready {
+		t.Fatalf("whiteness window not ready after %d updates", healthWindow+2)
+	}
+	if math.IsNaN(h.NIS) || math.IsInf(h.NIS, 0) || h.NIS < 0 {
+		t.Fatalf("NIS = %v, want finite non-negative", h.NIS)
+	}
+}
+
+// TestServerNodeHealthFlagsMisModel drives a constant-model filter with
+// an accelerating stream: every innovation lands on the same side, the
+// lag-1 autocorrelation pins near 1, and the health flag must drop.
+func TestServerNodeHealthFlagsMisModel(t *testing.T) {
+	m := model.Constant(1, 0.0005, 0.05)
+	cfg := Config{SourceID: "s1", Model: m, Delta: 0.5}
+	srv, err := NewServerNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ApplyUpdate(Update{SourceID: "s1", Seq: 0, Values: []float64{0}, Bootstrap: true}); err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= healthWindow+4; seq++ {
+		v := float64(seq) * float64(seq) // acceleration a constant model cannot express
+		if err := srv.ApplyUpdate(Update{SourceID: "s1", Seq: seq, Values: []float64{v}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := srv.Health()
+	if !h.Ready {
+		t.Fatal("whiteness window not ready")
+	}
+	if h.Healthy {
+		t.Fatalf("mis-modeled stream reported healthy (whiteness %v)", h.Whiteness)
+	}
+	if h.Whiteness < 0.5 {
+		t.Fatalf("whiteness = %v, want strongly positive for one-sided innovations", h.Whiteness)
 	}
 }

@@ -1,0 +1,97 @@
+package dsms
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"streamkf/internal/telemetry"
+)
+
+// AdminServer is the observability endpoint of a DSMS server: a small
+// HTTP listener, separate from the wire-protocol port, serving
+//
+//	/metrics        Prometheus text exposition of the telemetry registry
+//	/healthz        liveness probe ("ok")
+//	/streamz        JSON per-stream snapshot (model, δ, suppression %, NIS, health)
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// Scrapes never stop the data path: every handler reads live atomics or
+// takes only the same short per-source locks queries do.
+type AdminServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// MetricsHandler serves reg in Prometheus text exposition format.
+func MetricsHandler(reg *telemetry.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	}
+}
+
+// StreamzHandler serves the per-stream Stats snapshot as a JSON array,
+// sorted by source id.
+func StreamzHandler(s *Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Stats())
+	}
+}
+
+// ServeAdmin starts an admin server for s on addr (e.g. "127.0.0.1:0")
+// and returns once the listener is bound; the bound address is at
+// Addr(). A nil logger discards request-path logs.
+func ServeAdmin(s *Server, addr string, logger *slog.Logger) (*AdminServer, error) {
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", MetricsHandler(s.Telemetry()))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/streamz", StreamzHandler(s))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &AdminServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		if err := a.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("admin server exited", "err", err)
+		}
+	}()
+	logger.Info("admin endpoint listening", "addr", a.Addr())
+	return a, nil
+}
+
+// Addr returns the bound listener address.
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the listener, drops open admin connections, and waits for
+// the serve goroutine to exit — no goroutine survives Close.
+func (a *AdminServer) Close() error {
+	err := a.srv.Close()
+	<-a.done
+	return err
+}

@@ -24,6 +24,7 @@ import (
 	"streamkf/internal/model"
 	"streamkf/internal/stream"
 	"streamkf/internal/synopsis"
+	"streamkf/internal/telemetry"
 )
 
 // Catalog resolves model names to stream models. The server and its
@@ -103,10 +104,10 @@ type sourceState struct {
 
 	mu      sync.Mutex
 	node    *core.ServerNode
-	updates int
-	bytes   int
-	history *synopsis.Store // optional historical-query recorder
-	times   timeMap         // seq-to-time mapping from update timestamps
+	ins     *sourceInstruments // update/byte counters; single source of truth for Stats
+	lastSeq int                // seq of the last transmitted update (-1 before any)
+	history *synopsis.Store    // optional historical-query recorder
+	times   timeMap            // seq-to-time mapping from update timestamps
 }
 
 // Server is the central DSMS node.
@@ -119,6 +120,7 @@ type sourceState struct {
 // parallel; registration-time calls take it in write mode.
 type Server struct {
 	catalog *Catalog
+	tel     *serverTelemetry
 
 	mu      sync.RWMutex
 	sources map[string]*sourceState
@@ -140,14 +142,21 @@ type Server struct {
 	windows map[string]WindowQuery
 }
 
-// NewServer returns a server resolving models from catalog.
+// NewServer returns a server resolving models from catalog. Every
+// server carries a telemetry registry; instrumentation is always on
+// because recording is allocation-free (see internal/telemetry).
 func NewServer(catalog *Catalog) *Server {
 	return &Server{
 		catalog: catalog,
+		tel:     newServerTelemetry(telemetry.NewRegistry()),
 		sources: make(map[string]*sourceState),
 		byQuery: make(map[string]*sourceState),
 	}
 }
+
+// Telemetry returns the server's metric registry — what the admin
+// endpoint scrapes and tests assert against.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel.reg }
 
 // lookupQuery resolves a query id to its owning source under the
 // topology read-lock.
@@ -177,7 +186,7 @@ func (s *Server) Register(q stream.Query) error {
 	defer s.mu.Unlock()
 	st := s.sources[q.SourceID]
 	if st == nil {
-		st = &sourceState{id: q.SourceID}
+		st = &sourceState{id: q.SourceID, ins: s.tel.source(q.SourceID), lastSeq: -1}
 		s.sources[q.SourceID] = st
 	}
 	st.mu.Lock()
@@ -269,8 +278,19 @@ func (s *Server) HandleUpdate(u core.Update) error {
 		return fmt.Errorf("dsms: recording history for %s: %w", u.SourceID, err)
 	}
 	st.times.observe(u.Seq, u.Time)
-	st.updates++
-	st.bytes += u.WireBytes()
+	// Every sequence number skipped between consecutive transmissions is
+	// a reading the source suppressed (or outlier-rejected): the DKF
+	// contract is that the server's prediction covered it. Counting the
+	// gap server-side keeps the suppression ratio observable without any
+	// extra wire traffic.
+	if !u.Bootstrap && st.lastSeq >= 0 && u.Seq > st.lastSeq+1 {
+		st.ins.suppressed.Add(int64(u.Seq - st.lastSeq - 1))
+	}
+	st.lastSeq = u.Seq
+	st.ins.updates.Inc()
+	st.ins.bytes.Add(int64(u.WireBytes()))
+	st.ins.seq.SetInt(int64(st.node.Seq()))
+	st.ins.observeHealth(st.node.Health())
 	st.mu.Unlock()
 	s.checkAlerts(u.SourceID, u.Seq)
 	s.notifySubscribers(u.SourceID, u.Seq)
@@ -309,6 +329,8 @@ func (s *Server) Answer(queryID string, seq int) ([]float64, error) {
 // sources whose prediction actually advanced; sources without a
 // bootstrap yet, or already at or past seq, are skipped.
 func (s *Server) StepAll(seq, workers int) int {
+	start := nowNanos()
+	defer func() { s.tel.stepAllNs.Observe(nowNanos() - start) }()
 	s.mu.RLock()
 	batch := make([]*sourceState, 0, len(s.sources))
 	for _, st := range s.sources {
@@ -346,6 +368,7 @@ func (s *Server) StepAll(seq, workers int) int {
 	}
 	close(work)
 	wg.Wait()
+	s.tel.stepAllAdvanced.Add(advanced.Load())
 	return int(advanced.Load())
 }
 
@@ -361,17 +384,32 @@ func (s *Server) SourceIDs() []string {
 	return out
 }
 
-// Stats reports per-source update counts and bytes received.
+// Stats reports one source's ingest counters, filter position, and
+// filter health — the per-stream record behind the /streamz endpoint
+// (hence the JSON tags).
 type Stats struct {
-	SourceID string
-	Queries  int
-	Updates  int
-	Bytes    int
-	Seq      int
+	SourceID string  `json:"source_id"`
+	Queries  int     `json:"queries"`
+	Model    string  `json:"model,omitempty"`
+	Delta    float64 `json:"delta,omitempty"`
+
+	Updates        int     `json:"updates"`
+	Suppressed     int     `json:"suppressed"`
+	SuppressionPct float64 `json:"suppression_pct"`
+	Bytes          int     `json:"bytes"`
+	Seq            int     `json:"seq"`
+
+	NIS         float64 `json:"nis"`
+	NISValid    bool    `json:"nis_valid"`
+	Whiteness   float64 `json:"whiteness"`
+	HealthReady bool    `json:"health_ready"`
+	Healthy     bool    `json:"healthy"`
 }
 
-// Stats returns per-source statistics, sorted by source id. Counters for
-// each source are read under its runtime lock, so the snapshot of any one
+// Stats returns per-source statistics, sorted by source id. The update
+// and byte counts are read from the telemetry counters — the same
+// values /metrics exports, so the two views cannot drift. Each source's
+// node state is read under its runtime lock, so the snapshot of any one
 // source is consistent (the set of sources is fixed under the topology
 // read-lock, but sources keep streaming while others are read).
 func (s *Server) Stats() []Stats {
@@ -379,14 +417,21 @@ func (s *Server) Stats() []Stats {
 	defer s.mu.RUnlock()
 	out := make([]Stats, 0, len(s.sources))
 	for id, st := range s.sources {
-		stat := Stats{SourceID: id, Queries: len(st.queries)}
+		stat := Stats{SourceID: id, Queries: len(st.queries), Model: st.cfg.Model.Name, Delta: st.cfg.Delta, Healthy: true}
 		st.mu.Lock()
-		stat.Updates = st.updates
-		stat.Bytes = st.bytes
+		stat.Updates = int(st.ins.updates.Value())
+		stat.Suppressed = int(st.ins.suppressed.Value())
+		stat.Bytes = int(st.ins.bytes.Value())
 		if st.node != nil {
 			stat.Seq = st.node.Seq()
+			h := st.node.Health()
+			stat.NIS, stat.NISValid = h.NIS, h.NISValid
+			stat.Whiteness, stat.HealthReady, stat.Healthy = h.Whiteness, h.Ready, h.Healthy
 		}
 		st.mu.Unlock()
+		if total := stat.Updates + stat.Suppressed; total > 0 {
+			stat.SuppressionPct = 100 * float64(stat.Suppressed) / float64(total)
+		}
 		out = append(out, stat)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].SourceID < out[j].SourceID })
@@ -400,6 +445,7 @@ type Agent struct {
 	sourceID string
 	node     *core.SourceNode
 	send     core.Transport
+	ins      *AgentInstruments // optional; nil-safe record methods
 }
 
 // NewAgent builds an agent for sourceID from an installed configuration
@@ -416,6 +462,10 @@ func NewAgent(cfg core.Config, send core.Transport) (*Agent, error) {
 	return &Agent{sourceID: cfg.SourceID, node: node, send: send}, nil
 }
 
+// Instrument attaches telemetry to the agent. Call before streaming;
+// a nil set (the default) records nothing.
+func (a *Agent) Instrument(ins *AgentInstruments) { a.ins = ins }
+
 // Offer processes one reading, transmitting if the protocol requires.
 // It returns whether an update was sent.
 func (a *Agent) Offer(r stream.Reading) (sent bool, err error) {
@@ -424,8 +474,10 @@ func (a *Agent) Offer(r stream.Reading) (sent bool, err error) {
 		return false, err
 	}
 	if u == nil {
+		a.ins.recordOffer(false, 0)
 		return false, nil
 	}
+	a.ins.recordOffer(true, u.WireBytes())
 	return true, a.send.Send(*u)
 }
 

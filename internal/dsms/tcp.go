@@ -9,6 +9,7 @@ import (
 	"streamkf/internal/core"
 	"streamkf/internal/dsms/wire"
 	"streamkf/internal/stream"
+	"streamkf/internal/telemetry"
 )
 
 // The TCP transport speaks the length-prefixed binary framing protocol
@@ -35,6 +36,11 @@ type DialOptions struct {
 	Window int
 	// MaxFrame caps accepted frame sizes; 0 means wire.DefaultMaxFrame.
 	MaxFrame int
+	// Telemetry, when non-nil, receives the agent's instrument set
+	// (offers, sends, ack RTT, window occupancy) under per-source
+	// labels. Recording is allocation-free, so enabling it does not
+	// disturb the pipelined send path's alloc budget.
+	Telemetry *telemetry.Registry
 }
 
 // ServerOptions tunes a TCPServer.
@@ -110,20 +116,27 @@ func (t *TCPServer) Close() error {
 }
 
 func (t *TCPServer) handle(conn net.Conn) {
+	tel := t.server.tel
+	tel.connsTotal.Inc()
+	tel.connsActive.Add(1)
 	defer func() {
 		conn.Close()
+		tel.connsActive.Add(-1)
 		t.mu.Lock()
 		delete(t.conns, conn)
 		t.mu.Unlock()
 	}()
 	r := wire.NewReader(conn, 0, t.maxFrame)
 	w := wire.NewWriter(conn, 0, t.maxFrame)
+	r.OnFrame = tel.rx
+	w.OnFrame = tel.tx
 
 	// Preamble exchange: validate the client's, answer with ours. A
 	// peer that is not speaking the protocol at all gets an error frame
 	// on the off chance it can parse one, then the close.
 	ver, err := r.ReadPreamble()
 	if err != nil {
+		tel.countWireError(err)
 		w.Error(err.Error())
 		w.Flush()
 		return
@@ -132,6 +145,7 @@ func (t *TCPServer) handle(conn net.Conn) {
 		return
 	}
 	if err := wire.CheckVersion(ver); err != nil {
+		tel.countWireError(err)
 		w.Error(fmt.Sprintf("dsms: %v", err))
 		w.Flush()
 		return
@@ -161,6 +175,7 @@ func (t *TCPServer) handle(conn net.Conn) {
 	for {
 		tag, p, err := r.Next()
 		if err != nil {
+			tel.countWireError(err)
 			// Tell a well-behaved client why an oversized or malformed
 			// frame killed the connection; a vanished peer gets nothing.
 			var fse *wire.FrameSizeError
@@ -174,6 +189,7 @@ func (t *TCPServer) handle(conn net.Conn) {
 		case wire.TagHello:
 			id, err := wire.DecodeHello(p)
 			if err != nil {
+				tel.countWireError(err)
 				w.Error(fmt.Sprintf("dsms: %v", err))
 				w.Flush()
 				return
@@ -190,6 +206,7 @@ func (t *TCPServer) handle(conn net.Conn) {
 			}
 		case wire.TagUpdate:
 			if err := r.DecodeUpdate(p, &u); err != nil {
+				tel.countWireError(err)
 				w.Error(fmt.Sprintf("dsms: %v", err))
 				w.Flush()
 				return
@@ -213,6 +230,7 @@ func (t *TCPServer) handle(conn net.Conn) {
 		case wire.TagQuery:
 			qid, seq, err := r.DecodeQuery(p)
 			if err != nil {
+				tel.countWireError(err)
 				w.Error(fmt.Sprintf("dsms: %v", err))
 				w.Flush()
 				return
@@ -236,6 +254,7 @@ func (t *TCPServer) handle(conn net.Conn) {
 				return
 			}
 		default:
+			tel.errUnknownTag.Inc()
 			if w.Error(fmt.Sprintf("dsms: unknown message tag 0x%02x", byte(tag))) != nil || !flushAck() {
 				return
 			}
@@ -258,8 +277,11 @@ type RemoteAgent struct {
 	cond        *sync.Cond
 	w           *wire.Writer
 	outstanding []int64 // unacked update seqs, oldest first (monotonic)
+	sendTimes   []int64 // send timestamps parallel to outstanding (telemetry only)
 	err         error   // sticky transport/server error
 	closing     bool    // suppresses the close-induced read error
+
+	ins *AgentInstruments // optional; set once at dial, nil-safe
 
 	readerDone chan struct{}
 }
@@ -336,6 +358,10 @@ func DialSourceOptions(addr, sourceID string, catalog *Catalog, opts DialOptions
 	if err != nil {
 		return fail(err)
 	}
+	if opts.Telemetry != nil {
+		ra.ins = NewAgentInstruments(opts.Telemetry, sourceID)
+		agent.Instrument(ra.ins)
+	}
 	ra.agent = agent
 	go ra.readLoop(r)
 	return ra, nil
@@ -376,7 +402,15 @@ func (r *RemoteAgent) readLoop(rd *wire.Reader) {
 				n++
 			}
 			if n > 0 {
+				if r.ins != nil {
+					now := nowNanos()
+					for i := 0; i < n; i++ {
+						r.ins.observeAckRTT(now - r.sendTimes[i])
+					}
+					r.sendTimes = r.sendTimes[:copy(r.sendTimes, r.sendTimes[n:])]
+				}
 				r.outstanding = r.outstanding[:copy(r.outstanding, r.outstanding[n:])]
+				r.ins.setWindow(len(r.outstanding))
 			}
 			if r.err == nil && r.w.Buffered() > 0 {
 				if err := r.w.Flush(); err != nil {
@@ -435,6 +469,10 @@ func (r *RemoteAgent) sendUpdate(u core.Update) error {
 		return r.err
 	}
 	r.outstanding = append(r.outstanding, int64(u.Seq))
+	if r.ins != nil {
+		r.sendTimes = append(r.sendTimes, nowNanos())
+		r.ins.setWindow(len(r.outstanding))
+	}
 	if len(r.outstanding) == 1 {
 		// No ack is due, so nothing will trigger a flush from the read
 		// side: write out now. While acks are in flight, readLoop
@@ -480,6 +518,10 @@ func (r *RemoteAgent) Run(src stream.Source) error {
 // acknowledged every in-flight update, returning the sticky error if
 // the pipeline broke.
 func (r *RemoteAgent) Drain() error {
+	if r.ins != nil {
+		start := nowNanos()
+		defer func() { r.ins.observeDrain(nowNanos() - start) }()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.err == nil && r.w.Buffered() > 0 {

@@ -15,43 +15,48 @@ func benchReading(seq int, base float64) stream.Reading {
 	return stream.Reading{Seq: seq, Time: float64(seq), Values: []float64{base + float64(seq)}}
 }
 
-// BenchmarkTCPIngest measures the loopback source→server update path:
-// one update encoded, shipped, decoded, and folded into the server
-// filter per iteration.
-func BenchmarkTCPIngest(b *testing.B) {
-	b.Run("single", func(b *testing.B) {
-		catalog := testCatalog()
-		s := NewServer(catalog)
-		if err := s.Register(stream.Query{ID: "q-bench", SourceID: "bench", Delta: 1e-6, Model: "constant"}); err != nil {
-			b.Fatal(err)
-		}
-		ts, err := NewTCPServer(s, "127.0.0.1:0")
-		if err != nil {
-			b.Fatal(err)
-		}
-		go ts.Serve()
-		defer ts.Close()
-		agent, err := DialSource(ts.Addr(), "bench", catalog)
-		if err != nil {
-			b.Fatal(err)
-		}
-		defer agent.Close()
+// benchTCPIngestSingle is the single-agent loopback ingest benchmark
+// body: one update encoded, shipped, decoded, and folded into the
+// server filter per iteration. Telemetry is fully enabled on both sides
+// — the alloc budget is the instrumented cost. Shared between
+// BenchmarkTCPIngest and the TestTCPIngestAllocBudget regression gate.
+func benchTCPIngestSingle(b *testing.B) {
+	catalog := testCatalog()
+	s := NewServer(catalog)
+	if err := s.Register(stream.Query{ID: "q-bench", SourceID: "bench", Delta: 1e-6, Model: "constant"}); err != nil {
+		b.Fatal(err)
+	}
+	ts, err := NewTCPServer(s, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go ts.Serve()
+	defer ts.Close()
+	agent, err := DialSourceOptions(ts.Addr(), "bench", catalog, DialOptions{Telemetry: s.Telemetry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer agent.Close()
 
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			sent, err := agent.Offer(benchReading(i, 0))
-			if err != nil {
-				b.Fatal(err)
-			}
-			if !sent {
-				b.Fatal("reading unexpectedly suppressed")
-			}
-		}
-		if err := agent.Drain(); err != nil {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sent, err := agent.Offer(benchReading(i, 0))
+		if err != nil {
 			b.Fatal(err)
 		}
-	})
+		if !sent {
+			b.Fatal("reading unexpectedly suppressed")
+		}
+	}
+	if err := agent.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTCPIngest measures the loopback source→server update path.
+func BenchmarkTCPIngest(b *testing.B) {
+	b.Run("single", benchTCPIngestSingle)
 
 	for _, workers := range []int{4} {
 		b.Run(fmt.Sprintf("parallel/%d", workers), func(b *testing.B) {

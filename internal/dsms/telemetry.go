@@ -1,0 +1,244 @@
+package dsms
+
+import (
+	"errors"
+	"time"
+
+	"streamkf/internal/core"
+	"streamkf/internal/dsms/wire"
+	"streamkf/internal/telemetry"
+)
+
+// epoch anchors monotonic timestamps for latency instruments: nowNanos
+// is a single time.Since against it, so recording a timestamp never
+// allocates and survives wall-clock adjustments.
+var epoch = time.Now()
+
+// nowNanos returns monotonic nanoseconds since process start.
+func nowNanos() int64 { return int64(time.Since(epoch)) }
+
+// numTags sizes the per-tag counter arrays: wire tags are 0x01..0x07,
+// index 0 collects anything out of range.
+const numTags = 8
+
+// tagLabels names the per-tag label values, indexed by wire.Tag.
+var tagLabels = [numTags]string{"other", "hello", "install", "update", "ack", "query", "answer", "error"}
+
+// serverTelemetry bundles the server-wide instruments: the registry the
+// admin endpoint scrapes, StepAll batch latency, and the wire-layer
+// traffic and error taxonomy shared by every connection. Per-tag
+// counters are pre-created arrays indexed by the tag byte, so the frame
+// hooks are a bounds check and an atomic add — nothing on the ingest
+// hot path allocates or locks.
+type serverTelemetry struct {
+	reg *telemetry.Registry
+
+	stepAllNs       *telemetry.Histogram
+	stepAllAdvanced *telemetry.Counter
+
+	connsTotal  *telemetry.Counter
+	connsActive *telemetry.Gauge
+
+	rxFrames [numTags]*telemetry.Counter
+	rxBytes  [numTags]*telemetry.Counter
+	txFrames [numTags]*telemetry.Counter
+	txBytes  [numTags]*telemetry.Counter
+
+	errPeerClosed *telemetry.Counter
+	errTruncated  *telemetry.Counter
+	errOversize   *telemetry.Counter
+	errMalformed  *telemetry.Counter
+	errVersion    *telemetry.Counter
+	errBadMagic   *telemetry.Counter
+	errUnknownTag *telemetry.Counter
+	errOther      *telemetry.Counter
+}
+
+func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
+	t := &serverTelemetry{reg: reg}
+	t.stepAllNs = reg.Histogram("dkf_server_stepall_ns", "StepAll batch latency in nanoseconds.")
+	t.stepAllAdvanced = reg.Counter("dkf_server_stepall_advanced_total", "Source filters advanced by StepAll batches.")
+	t.connsTotal = reg.Counter("dkf_wire_connections_total", "TCP connections accepted.")
+	t.connsActive = reg.Gauge("dkf_wire_connections_active", "TCP connections currently open.")
+	for i, name := range tagLabels {
+		tag := telemetry.L("tag", name)
+		t.rxFrames[i] = reg.Counter("dkf_wire_rx_frames_total", "Frames received, by tag.", tag)
+		t.rxBytes[i] = reg.Counter("dkf_wire_rx_bytes_total", "Bytes received in frames (length prefix included), by tag.", tag)
+		t.txFrames[i] = reg.Counter("dkf_wire_tx_frames_total", "Frames sent, by tag.", tag)
+		t.txBytes[i] = reg.Counter("dkf_wire_tx_bytes_total", "Bytes sent in frames (length prefix included), by tag.", tag)
+	}
+	const errHelp = "Wire protocol failures, by kind."
+	t.errPeerClosed = reg.Counter("dkf_wire_errors_total", errHelp, telemetry.L("kind", "peer_closed"))
+	t.errTruncated = reg.Counter("dkf_wire_errors_total", errHelp, telemetry.L("kind", "truncated"))
+	t.errOversize = reg.Counter("dkf_wire_errors_total", errHelp, telemetry.L("kind", "oversize"))
+	t.errMalformed = reg.Counter("dkf_wire_errors_total", errHelp, telemetry.L("kind", "malformed"))
+	t.errVersion = reg.Counter("dkf_wire_errors_total", errHelp, telemetry.L("kind", "version"))
+	t.errBadMagic = reg.Counter("dkf_wire_errors_total", errHelp, telemetry.L("kind", "bad_magic"))
+	t.errUnknownTag = reg.Counter("dkf_wire_errors_total", errHelp, telemetry.L("kind", "unknown_tag"))
+	t.errOther = reg.Counter("dkf_wire_errors_total", errHelp, telemetry.L("kind", "other"))
+	return t
+}
+
+// rx and tx are the wire.Reader/Writer OnFrame hooks.
+func (t *serverTelemetry) rx(tag wire.Tag, frameBytes int) {
+	i := int(tag)
+	if i >= numTags {
+		i = 0
+	}
+	t.rxFrames[i].Inc()
+	t.rxBytes[i].Add(int64(frameBytes))
+}
+
+func (t *serverTelemetry) tx(tag wire.Tag, frameBytes int) {
+	i := int(tag)
+	if i >= numTags {
+		i = 0
+	}
+	t.txFrames[i].Inc()
+	t.txBytes[i].Add(int64(frameBytes))
+}
+
+// countWireError buckets a connection failure into the error taxonomy.
+func (t *serverTelemetry) countWireError(err error) {
+	var fse *wire.FrameSizeError
+	var ve *wire.VersionError
+	switch {
+	case errors.Is(err, core.ErrPeerClosed):
+		t.errPeerClosed.Inc()
+	case errors.Is(err, core.ErrTruncated):
+		t.errTruncated.Inc()
+	case errors.Is(err, wire.ErrBadMagic):
+		t.errBadMagic.Inc()
+	case errors.Is(err, wire.ErrMalformed):
+		t.errMalformed.Inc()
+	case errors.As(err, &fse):
+		t.errOversize.Inc()
+	case errors.As(err, &ve):
+		t.errVersion.Inc()
+	default:
+		t.errOther.Inc()
+	}
+}
+
+// sourceInstruments is the per-stream instrument set. The counters are
+// the single source of truth for Server.Stats — there are no shadow
+// ints to drift from what /metrics reports.
+type sourceInstruments struct {
+	updates    *telemetry.Counter
+	suppressed *telemetry.Counter
+	bytes      *telemetry.Counter
+	seq        *telemetry.Gauge
+	nis        *telemetry.Gauge
+	whiteness  *telemetry.Gauge
+	healthy    *telemetry.Gauge
+}
+
+// source creates (or re-fetches) the instruments for one source id.
+func (t *serverTelemetry) source(id string) *sourceInstruments {
+	src := telemetry.L("source", id)
+	si := &sourceInstruments{
+		updates:    t.reg.Counter("dkf_server_updates_total", "Updates folded into the server filter.", src),
+		suppressed: t.reg.Counter("dkf_server_suppressed_total", "Source-suppressed steps, inferred from update sequence gaps.", src),
+		bytes:      t.reg.Counter("dkf_server_recv_bytes_total", "Update payload bytes received (wire-cost model).", src),
+		seq:        t.reg.Gauge("dkf_server_seq", "Latest reading index folded into the stream's filter.", src),
+		nis:        t.reg.Gauge("dkf_stream_nis", "Normalized innovation squared of the latest update.", src),
+		whiteness:  t.reg.Gauge("dkf_stream_whiteness", "Lag-1 autocorrelation of recent innovations (near 0 when healthy).", src),
+		healthy:    t.reg.Gauge("dkf_stream_healthy", "1 while the innovation sequence is white; 0 flags a mis-modeled stream.", src),
+	}
+	// A stream is presumed healthy until a full whiteness window says
+	// otherwise.
+	si.healthy.Set(1)
+	t.reg.GaugeFunc("dkf_server_suppression_ratio",
+		"Fraction of source readings suppressed: suppressed / (updates + suppressed).",
+		func() float64 {
+			u := float64(si.updates.Value())
+			sp := float64(si.suppressed.Value())
+			if u+sp == 0 {
+				return 0
+			}
+			return sp / (u + sp)
+		}, src)
+	return si
+}
+
+// observeHealth publishes a filter-health snapshot to the gauges.
+func (si *sourceInstruments) observeHealth(h core.FilterHealth) {
+	if h.NISValid {
+		si.nis.Set(h.NIS)
+	}
+	si.whiteness.Set(h.Whiteness)
+	si.healthy.SetBool(h.Healthy)
+}
+
+// AgentInstruments is the source-agent instrument set: the offer/send
+// split that realizes the paper's update suppression, plus transport
+// behavior (ack round-trips, window occupancy, drain latency) for the
+// pipelined TCP path. All record methods are nil-receiver safe so
+// agents without telemetry pay one branch.
+type AgentInstruments struct {
+	offers    *telemetry.Counter
+	sends     *telemetry.Counter
+	unsent    *telemetry.Counter
+	sentBytes *telemetry.Counter
+	ackRTTNs  *telemetry.Histogram
+	drainNs   *telemetry.Histogram
+	window    *telemetry.Gauge
+}
+
+// NewAgentInstruments registers the agent instrument set for sourceID.
+func NewAgentInstruments(reg *telemetry.Registry, sourceID string) *AgentInstruments {
+	src := telemetry.L("source", sourceID)
+	ai := &AgentInstruments{
+		offers:    reg.Counter("dkf_agent_offers_total", "Readings offered to the source node.", src),
+		sends:     reg.Counter("dkf_agent_sends_total", "Updates transmitted to the server.", src),
+		unsent:    reg.Counter("dkf_agent_suppressed_total", "Readings not transmitted (suppressed or outlier-rejected).", src),
+		sentBytes: reg.Counter("dkf_agent_sent_bytes_total", "Update payload bytes transmitted (wire-cost model).", src),
+		ackRTTNs:  reg.Histogram("dkf_agent_ack_rtt_ns", "Send-to-cumulative-ack round trip in nanoseconds.", src),
+		drainNs:   reg.Histogram("dkf_agent_drain_ns", "Drain latency in nanoseconds (flush plus wait for all acks).", src),
+		window:    reg.Gauge("dkf_agent_window_occupancy", "Unacknowledged updates currently in flight.", src),
+	}
+	reg.GaugeFunc("dkf_agent_send_ratio",
+		"Fraction of offered readings actually transmitted: sends / offers.",
+		func() float64 {
+			o := float64(ai.offers.Value())
+			if o == 0 {
+				return 0
+			}
+			return float64(ai.sends.Value()) / o
+		}, src)
+	return ai
+}
+
+func (ai *AgentInstruments) recordOffer(sent bool, wireBytes int) {
+	if ai == nil {
+		return
+	}
+	ai.offers.Inc()
+	if sent {
+		ai.sends.Inc()
+		ai.sentBytes.Add(int64(wireBytes))
+	} else {
+		ai.unsent.Inc()
+	}
+}
+
+func (ai *AgentInstruments) observeAckRTT(ns int64) {
+	if ai == nil {
+		return
+	}
+	ai.ackRTTNs.Observe(ns)
+}
+
+func (ai *AgentInstruments) observeDrain(ns int64) {
+	if ai == nil {
+		return
+	}
+	ai.drainNs.Observe(ns)
+}
+
+func (ai *AgentInstruments) setWindow(n int) {
+	if ai == nil {
+		return
+	}
+	ai.window.SetInt(int64(n))
+}

@@ -1,0 +1,138 @@
+package dsms
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"streamkf/internal/core"
+	"streamkf/internal/gen"
+	"streamkf/internal/stream"
+	"streamkf/internal/telemetry"
+)
+
+// TestStatsMatchTelemetryCounters replays a mixed suppressed/sent
+// stream and asserts that the agent's node counters, Server.Stats, and
+// the telemetry registry all report identical numbers — the counters
+// ARE the stats, so the three views cannot drift.
+func TestStatsMatchTelemetryCounters(t *testing.T) {
+	s := NewServer(testCatalog())
+	mustRegister(t, s, stream.Query{ID: "q1", SourceID: "walk", Delta: 0.5, Model: "linear"})
+	cfg, err := s.InstallFor("walk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent(cfg, core.TransportFunc(func(u core.Update) error { return s.HandleUpdate(u) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Instrument(NewAgentInstruments(s.Telemetry(), "walk"))
+
+	data := gen.Ramp(400, 0, 2, 0.3, 23)
+	// Spike the final reading so it must transmit: every suppressed
+	// sequence number then sits between two transmissions, and the
+	// server's gap inference accounts for all of them.
+	data[len(data)-1].Values[0] += 100
+	if err := agent.Run(stream.NewSliceSource(data)); err != nil {
+		t.Fatal(err)
+	}
+
+	ast := agent.Stats()
+	if ast.Updates == 0 || ast.Suppressed == 0 {
+		t.Fatalf("replay was not mixed: %+v", ast)
+	}
+	if ast.Updates+ast.Suppressed != len(data) {
+		t.Fatalf("agent counters do not cover the stream: %+v over %d readings", ast, len(data))
+	}
+
+	st := s.Stats()[0]
+	reg := s.Telemetry()
+	src := telemetry.L("source", "walk")
+	get := func(name string) int {
+		t.Helper()
+		v, ok := reg.Get(name, src)
+		if !ok {
+			t.Fatalf("metric %s not registered", name)
+		}
+		return int(v)
+	}
+
+	if st.Updates != ast.Updates {
+		t.Errorf("server saw %d updates, agent sent %d", st.Updates, ast.Updates)
+	}
+	if st.Suppressed != ast.Suppressed {
+		t.Errorf("server inferred %d suppressed, agent suppressed %d", st.Suppressed, ast.Suppressed)
+	}
+	if st.Bytes != ast.BytesSent {
+		t.Errorf("server counted %d bytes, agent sent %d", st.Bytes, ast.BytesSent)
+	}
+	if got := get("dkf_server_updates_total"); got != st.Updates {
+		t.Errorf("dkf_server_updates_total = %d, Stats.Updates = %d", got, st.Updates)
+	}
+	if got := get("dkf_server_suppressed_total"); got != st.Suppressed {
+		t.Errorf("dkf_server_suppressed_total = %d, Stats.Suppressed = %d", got, st.Suppressed)
+	}
+	if got := get("dkf_server_recv_bytes_total"); got != st.Bytes {
+		t.Errorf("dkf_server_recv_bytes_total = %d, Stats.Bytes = %d", got, st.Bytes)
+	}
+	if got := get("dkf_agent_offers_total"); got != ast.Readings {
+		t.Errorf("dkf_agent_offers_total = %d, agent readings = %d", got, ast.Readings)
+	}
+	if got := get("dkf_agent_sends_total"); got != ast.Updates {
+		t.Errorf("dkf_agent_sends_total = %d, agent updates = %d", got, ast.Updates)
+	}
+	if got := get("dkf_agent_suppressed_total"); got != ast.Suppressed {
+		t.Errorf("dkf_agent_suppressed_total = %d, agent suppressed = %d", got, ast.Suppressed)
+	}
+	if got := get("dkf_agent_sent_bytes_total"); got != ast.BytesSent {
+		t.Errorf("dkf_agent_sent_bytes_total = %d, agent bytes = %d", got, ast.BytesSent)
+	}
+
+	wantRatio := float64(st.Suppressed) / float64(st.Updates+st.Suppressed)
+	if ratio, ok := reg.Get("dkf_server_suppression_ratio", src); !ok || ratio != wantRatio {
+		t.Errorf("dkf_server_suppression_ratio = %v, want %v", ratio, wantRatio)
+	}
+	if pct := st.SuppressionPct; pct != 100*wantRatio {
+		t.Errorf("Stats.SuppressionPct = %v, want %v", pct, 100*wantRatio)
+	}
+}
+
+// benchBudgets reads the allocs_per_op entries of a benchmark baseline
+// file.
+func benchBudgets(t *testing.T, path string) map[string]int64 {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks map[string]struct {
+			AllocsPerOp int64 `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	out := make(map[string]int64, len(doc.Benchmarks))
+	for name, b := range doc.Benchmarks {
+		out[name] = b.AllocsPerOp
+	}
+	return out
+}
+
+// TestTCPIngestAllocBudget gates the instrumented TCP ingest path on
+// the allocation budget pinned in BENCH_TCP.json: telemetry must ride
+// along for free.
+func TestTCPIngestAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a benchmark")
+	}
+	budget, ok := benchBudgets(t, "../../BENCH_TCP.json")["BenchmarkTCPIngest/single"]
+	if !ok {
+		t.Fatal("BENCH_TCP.json has no BenchmarkTCPIngest/single entry")
+	}
+	res := testing.Benchmark(benchTCPIngestSingle)
+	if got := res.AllocsPerOp(); got > budget {
+		t.Fatalf("TCP ingest with telemetry allocates %d/op, budget %d/op (BENCH_TCP.json)", got, budget)
+	}
+}

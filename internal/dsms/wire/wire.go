@@ -171,6 +171,12 @@ type Writer struct {
 	bw      *bufio.Writer
 	scratch []byte
 	max     uint32
+
+	// OnFrame, when set, observes every framed message as it is
+	// buffered: the tag and the full frame size in bytes (length prefix
+	// included). The transport layer uses it for per-tag traffic
+	// telemetry; the hook must not allocate or block.
+	OnFrame func(tag Tag, frameBytes int)
 }
 
 // NewWriter wraps w. bufSize <= 0 picks a default sized for a full
@@ -212,8 +218,13 @@ func (w *Writer) finish() error {
 		return &FrameSizeError{Len: n, Max: w.max}
 	}
 	binary.LittleEndian.PutUint32(w.scratch[:4], n)
-	_, err := w.bw.Write(w.scratch)
-	return err
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		return err
+	}
+	if w.OnFrame != nil {
+		w.OnFrame(Tag(w.scratch[4]), len(w.scratch))
+	}
+	return nil
 }
 
 func appendU16(b []byte, v uint16) []byte {
@@ -347,6 +358,11 @@ type Reader struct {
 	max     uint32
 	lastID  string // intern cache for Update.SourceID
 	lastQID string // intern cache for query ids
+
+	// OnFrame, when set, observes every successfully read frame: the tag
+	// and the full frame size in bytes (length prefix included). Used for
+	// per-tag traffic telemetry; the hook must not allocate or block.
+	OnFrame func(tag Tag, frameBytes int)
 }
 
 // NewReader wraps r. bufSize <= 0 picks a default; maxFrame <= 0 uses
@@ -395,6 +411,9 @@ func (r *Reader) Next() (Tag, []byte, error) {
 	p := r.payload[:plen]
 	if _, err := io.ReadFull(r.br, p); err != nil {
 		return 0, nil, mapReadErr(err, true)
+	}
+	if r.OnFrame != nil {
+		r.OnFrame(tag, len(r.hdr)+plen)
 	}
 	return tag, p, nil
 }

@@ -2,6 +2,7 @@ package kalman
 
 import (
 	"fmt"
+	"math"
 
 	"streamkf/internal/mat"
 )
@@ -39,12 +40,19 @@ func NewNoiseEstimator(m, window int, floor float64) (*NoiseEstimator, error) {
 	return &NoiseEstimator{m: m, window: window, floor: floor, buf: make([]*mat.Matrix, window)}, nil
 }
 
-// Observe records one innovation vector (m x 1).
+// Observe records one innovation vector (m x 1). The ring buffer slots
+// are allocated on first use and reused afterwards, so a warm estimator
+// observes without allocating — the property that lets the DSMS server
+// run one estimator per stream on the ingest hot path.
 func (n *NoiseEstimator) Observe(innov *mat.Matrix) {
 	if innov.Rows() != n.m || innov.Cols() != 1 {
 		panic(fmt.Sprintf("kalman: NoiseEstimator.Observe innovation is %dx%d, want %dx1", innov.Rows(), innov.Cols(), n.m))
 	}
-	n.buf[n.next] = innov.Clone()
+	if n.buf[n.next] == nil {
+		n.buf[n.next] = innov.Clone()
+	} else {
+		n.buf[n.next].CopyFrom(innov)
+	}
 	n.next++
 	if n.next == n.window {
 		n.next = 0
@@ -52,8 +60,63 @@ func (n *NoiseEstimator) Observe(innov *mat.Matrix) {
 	}
 }
 
+// ObserveFilter records f's most recent innovation (the one produced by
+// its last Correct), without allocating once the window is warm. It
+// reports whether an innovation was available.
+func (n *NoiseEstimator) ObserveFilter(f *Filter) bool {
+	if f.innov == nil {
+		return false
+	}
+	n.Observe(f.innov)
+	return true
+}
+
 // Ready reports whether a full window of innovations has been observed.
 func (n *NoiseEstimator) Ready() bool { return n.filled }
+
+// Whiteness returns the lag-1 autocorrelation of the observed innovation
+// sequence,
+//
+//	ρ₁ = Σ_k d_k · d_{k-1} / Σ_k ‖d_k‖²,
+//
+// over the current window in time order. Under a correct model the
+// innovations are white, so ρ₁ ≈ 0 within ±2/√window; a persistent bias
+// means the installed model is mis-specified for the stream (the
+// server-side filter-health signal, paper §3.2). ok is false until the
+// window has filled.
+func (n *NoiseEstimator) Whiteness() (rho float64, ok bool) {
+	count := n.next
+	if n.filled {
+		count = n.window
+	}
+	if count < 2 {
+		return 0, false
+	}
+	var num, den float64
+	var prev *mat.Matrix
+	for i := 0; i < count; i++ {
+		idx := i
+		if n.filled {
+			idx = (n.next + i) % n.window
+		}
+		d := n.buf[idx]
+		den += mat.Dot(d, d)
+		if prev != nil {
+			num += mat.Dot(prev, d)
+		}
+		prev = d
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, n.filled
+}
+
+// WhitenessBound returns the ±2/√window acceptance band for Whiteness:
+// |ρ₁| beyond the bound flags a mis-modeled stream.
+func (n *NoiseEstimator) WhitenessBound() float64 {
+	return 2 / math.Sqrt(float64(n.window))
+}
 
 // EstimateR returns R̂ given the filter's current a priori covariance
 // term H P^- H^T. Call only when Ready.

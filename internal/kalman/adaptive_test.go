@@ -113,3 +113,91 @@ func TestAdaptiveCorrectPropagatesError(t *testing.T) {
 		t.Fatal("adaptive Correct accepted bad measurement")
 	}
 }
+
+func TestWhitenessWhiteSequence(t *testing.T) {
+	est, err := NewNoiseEstimator(1, 64, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := est.Whiteness(); ok {
+		t.Fatal("Whiteness ready before window filled")
+	}
+	// Deterministic pseudo-white sequence: alternating-sign values with
+	// varying magnitude have near-zero lag-1 autocorrelation.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 64; i++ {
+		est.Observe(mat.Vec(rng.NormFloat64()))
+	}
+	rho, ok := est.Whiteness()
+	if !ok {
+		t.Fatal("Whiteness not ready after a full window")
+	}
+	if math.Abs(rho) > est.WhitenessBound() {
+		t.Fatalf("white sequence has rho = %v beyond bound %v", rho, est.WhitenessBound())
+	}
+}
+
+func TestWhitenessCorrelatedSequence(t *testing.T) {
+	est, err := NewNoiseEstimator(1, 32, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A slow ramp is maximally correlated at lag 1.
+	for i := 0; i < 32; i++ {
+		est.Observe(mat.Vec(1 + 0.01*float64(i)))
+	}
+	rho, ok := est.Whiteness()
+	if !ok {
+		t.Fatal("Whiteness not ready")
+	}
+	if rho < 0.9 {
+		t.Fatalf("ramp innovations have rho = %v, want ~1 (mis-modeled stream must be flagged)", rho)
+	}
+	if rho <= est.WhitenessBound() {
+		t.Fatalf("rho %v within bound %v; health flag would miss the mis-model", rho, est.WhitenessBound())
+	}
+}
+
+// TestObserveZeroAllocWhenWarm pins the ring-buffer reuse: a warm
+// estimator records innovations and evaluates whiteness without heap
+// allocation, so the per-stream health tap stays off the ingest path's
+// allocation budget.
+func TestObserveZeroAllocWhenWarm(t *testing.T) {
+	est, err := NewNoiseEstimator(2, 8, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mat.Vec(0.5, -0.5)
+	for i := 0; i < 8; i++ {
+		est.Observe(d)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		est.Observe(d)
+		est.Whiteness()
+	}); n != 0 {
+		t.Fatalf("warm Observe+Whiteness allocates %v per run, want 0", n)
+	}
+}
+
+func TestObserveFilter(t *testing.T) {
+	f := MustNew(scalarConfig(0.1, 0.1, 0))
+	est, err := NewNoiseEstimator(1, 4, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ObserveFilter(f) {
+		t.Fatal("ObserveFilter before any correction reported an innovation")
+	}
+	for i := 0; i < 5; i++ {
+		f.Predict()
+		if err := f.Correct(mat.Vec(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if !est.ObserveFilter(f) {
+			t.Fatal("ObserveFilter after Correct found no innovation")
+		}
+	}
+	if !est.Ready() {
+		t.Fatal("estimator not ready after window+1 corrections")
+	}
+}
