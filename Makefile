@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-net check baseline profile-cpu profile-heap
+.PHONY: build test race vet bench bench-net bench-wal fuzz check baseline profile-cpu profile-heap
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,19 @@ bench:
 # BENCH_TCP.json for recorded before/after numbers).
 bench-net:
 	$(GO) test -run '^$$' -bench 'BenchmarkTCPIngest' -benchmem -count 3 ./internal/dsms/
+
+# WAL append cost per fsync policy plus the durable loopback ingest
+# path (see BENCH_WAL.json for recorded numbers).
+bench-wal:
+	$(GO) test -run '^$$' -bench 'BenchmarkWALAppend' -benchmem -count 3 ./internal/wal/
+	$(GO) test -run '^$$' -bench 'BenchmarkTCPIngestDurable' -benchmem -count 3 ./internal/dsms/
+
+# Short fuzz pass over the wire frame decoders, WAL replay and
+# checkpoint reader (the corpora are regenerated, not committed).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 30s ./internal/dsms/wire/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzReadCheckpoint -fuzztime 15s ./internal/wal/
 
 # Full benchmark sweep regenerating every figure/table artefact.
 bench-all:

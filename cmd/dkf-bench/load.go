@@ -2,12 +2,14 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
 	"streamkf/internal/dsms"
 	"streamkf/internal/gen"
 	"streamkf/internal/stream"
+	"streamkf/internal/wal"
 )
 
 // loadConfig drives concurrent source agents against a live dkf-server
@@ -15,6 +17,10 @@ import (
 // started with one query per source id, e.g. for -sources 2 -prefix load-:
 //
 //	dkf-server -query q0:load-0:linear:0.5 -query q1:load-1:linear:0.5
+//
+// With -data-dir, dkf-bench instead starts its own durable in-process
+// server over that directory, so profiles cover the WAL append and
+// checkpoint paths without a separate dkf-server process.
 type loadConfig struct {
 	server  string
 	prefix  string
@@ -22,9 +28,65 @@ type loadConfig struct {
 	n       int
 	window  int
 	rate    time.Duration
+	dataDir string
+	fsync   string
+}
+
+// startDurable spins up an embedded durable server with one query per
+// load source and returns its address plus a shutdown func.
+func startDurable(cfg loadConfig) (string, func() error, error) {
+	policy, err := wal.ParseSyncPolicy(cfg.fsync)
+	if err != nil {
+		return "", nil, err
+	}
+	server, err := dsms.Open(dsms.DefaultCatalog(1.0), cfg.dataDir, dsms.DurabilityOptions{
+		Sync:            policy,
+		CheckpointEvery: 10000,
+	})
+	if err != nil {
+		return "", nil, fmt.Errorf("open durable server: %w", err)
+	}
+	for i := 0; i < cfg.sources; i++ {
+		q := stream.Query{
+			ID:       fmt.Sprintf("q%d", i),
+			SourceID: fmt.Sprintf("%s%d", cfg.prefix, i),
+			Model:    "linear",
+			Delta:    0.5,
+		}
+		if server.HasQuery(q.ID) {
+			continue // recovered from a previous -load run over the same dir
+		}
+		if err := server.Register(q); err != nil {
+			server.Close()
+			return "", nil, err
+		}
+	}
+	ts, err := dsms.NewTCPServer(server, "127.0.0.1:0")
+	if err != nil {
+		server.Close()
+		return "", nil, err
+	}
+	go ts.Serve()
+	return ts.Addr(), func() error {
+		ts.Close()
+		return server.Close()
+	}, nil
 }
 
 func runLoad(cfg loadConfig) error {
+	if cfg.dataDir != "" {
+		addr, stop, err := startDurable(cfg)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "dkf-bench: durable close: %v\n", err)
+			}
+		}()
+		cfg.server = addr
+		fmt.Printf("durable load server on %s (data-dir %s, fsync %s)\n", addr, cfg.dataDir, cfg.fsync)
+	}
 	var wg sync.WaitGroup
 	errs := make(chan error, cfg.sources)
 	start := time.Now()

@@ -32,11 +32,13 @@ func main() {
 		n          = flag.Int("n", 20000, "readings per source (-load mode)")
 		window     = flag.Int("window", dsms.DefaultWindow, "max unacked updates in flight per agent (-load mode)")
 		rate       = flag.Duration("rate", 0, "inter-reading delay per agent (-load mode)")
+		dataDir    = flag.String("data-dir", "", "run the load against an embedded durable server over this directory instead of -server (-load mode)")
+		fsync      = flag.String("fsync", "interval", "WAL fsync policy for -data-dir: always|interval|off (-load mode)")
 	)
 	flag.Parse()
 
 	if *load {
-		cfg := loadConfig{server: *server, prefix: *prefix, sources: *sources, n: *n, window: *window, rate: *rate}
+		cfg := loadConfig{server: *server, prefix: *prefix, sources: *sources, n: *n, window: *window, rate: *rate, dataDir: *dataDir, fsync: *fsync}
 		if err := runLoad(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "dkf-bench: %v\n", err)
 			os.Exit(1)

@@ -14,6 +14,12 @@
 // Each -query flag is id:source:model:delta[:F]. Models come from the
 // default catalog: constant, linear, acceleration, jerk, constant2d,
 // linear2d.
+//
+// With -data-dir the server is durable: every registration and update
+// is written to a write-ahead log and periodically checkpointed, so a
+// restart with the same -data-dir recovers the exact filter state and
+// reconnecting sources resume without re-bootstrapping. -fsync picks
+// the durability/latency trade-off (always | interval | off).
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"streamkf/internal/dsms"
 	"streamkf/internal/stream"
 	"streamkf/internal/telemetry"
+	"streamkf/internal/wal"
 )
 
 type stringsFlag []string
@@ -74,6 +81,10 @@ func main() {
 		dt         = flag.Float64("dt", 1.0, "sampling interval assumed by the model catalog")
 		stats      = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 		maxFrame   = flag.Int("maxframe", 0, "max accepted wire frame size in bytes (0 = 1 MiB default)")
+		dataDir    = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty = non-durable)")
+		fsync      = flag.String("fsync", "interval", "WAL fsync policy: always|interval|off")
+		fsyncEvery = flag.Duration("fsync-interval", 0, "flush period for -fsync interval (0 = 50ms default)")
+		ckptEvery  = flag.Int("checkpoint-every", 10000, "checkpoint after this many logged updates (0 disables automatic checkpoints)")
 		queries    queryFlags
 		statements stringsFlag
 	)
@@ -94,8 +105,33 @@ func main() {
 	}
 
 	catalog := dsms.DefaultCatalog(*dt)
-	server := dsms.NewServer(catalog)
+	var server *dsms.Server
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			logger.Error("bad -fsync", "err", err)
+			os.Exit(2)
+		}
+		server, err = dsms.Open(catalog, *dataDir, dsms.DurabilityOptions{
+			Sync:            policy,
+			SyncEvery:       *fsyncEvery,
+			CheckpointEvery: *ckptEvery,
+		})
+		if err != nil {
+			logger.Error("recovery failed", "data_dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("durable server open", "data_dir", *dataDir, "fsync", policy.String())
+	} else {
+		server = dsms.NewServer(catalog)
+	}
 	for _, q := range queries {
+		if server.HasQuery(q.ID) {
+			// Recovered from the checkpoint/WAL: re-registering would be
+			// rejected as a duplicate, and its config is already in force.
+			logger.Info("query recovered", "query", q.ID, "source", q.SourceID)
+			continue
+		}
 		if err := server.Register(q); err != nil {
 			logger.Error("register query failed", "query", q.ID, "err", err)
 			os.Exit(2)
@@ -160,6 +196,10 @@ func main() {
 			if err := adminSrv.Close(); err != nil {
 				logger.Warn("admin close", "err", err)
 			}
+		}
+		// Final checkpoint + WAL close; a no-op without -data-dir.
+		if err := server.Close(); err != nil {
+			logger.Error("durable close", "err", err)
 		}
 	}
 	select {

@@ -351,14 +351,25 @@ func (s *ServerNode) Seq() int { return s.lastSeq }
 // update initializes the filter; subsequent updates advance prediction up
 // to the update's sequence number and correct, exactly mirroring the
 // source's operation sequence.
+//
+// A bootstrap update on an already-bootstrapped node re-initializes it:
+// that is a source that lost its mirror state (e.g. the sensor process
+// restarted) starting a fresh DKF session, and folding its bootstrap as
+// a correction would desynchronize the new mirror forever. The health
+// window resets with the filter.
 func (s *ServerNode) ApplyUpdate(u Update) error {
-	if s.filter == nil {
+	if s.filter == nil || u.Bootstrap {
 		if !u.Bootstrap {
 			return fmt.Errorf("core: first update for %s is not a bootstrap", u.SourceID)
 		}
 		f, err := s.cfg.Model.NewFilter(u.Values)
 		if err != nil {
 			return err
+		}
+		if s.filter != nil {
+			// Re-bootstrap: discard diagnostics from the previous session.
+			s.lastNIS, s.nisValid = 0, false
+			s.health.RestoreWindow(nil)
 		}
 		s.filter = f
 		s.lastSeq = u.Seq
@@ -459,6 +470,80 @@ func (s *ServerNode) Estimate() (values []float64, ok bool) {
 // Filter exposes KFs for invariant checks and diagnostics; nil before
 // bootstrap.
 func (s *ServerNode) Filter() *kalman.Filter { return s.filter }
+
+// Bootstrapped reports whether the bootstrap update has arrived and the
+// node answers queries.
+func (s *ServerNode) Bootstrapped() bool { return s.filter != nil }
+
+// NodeSnapshot is the complete mutable state of a bootstrapped
+// ServerNode, in serialization-ready form: everything a checkpoint must
+// persist so a restored node continues the exact same trajectory. The
+// model itself is not included — it travels by name, like the DKF
+// install handshake — so the restoring side must construct the node
+// from the same Config.
+type NodeSnapshot struct {
+	X     []float64 // state estimate, n values
+	P     []float64 // error covariance, n*n values row-major
+	K     int       // filter discrete time index (Predict count)
+	Seq   int       // reading index the prediction corresponds to
+	Ticks int       // no-update predict steps taken
+
+	LastNIS  float64
+	NISValid bool
+	// Innovations is the health monitor's whiteness window, oldest
+	// first, each m values.
+	Innovations [][]float64
+}
+
+// Snapshot captures the node's state for a checkpoint, or nil before
+// bootstrap (an unbootstrapped node has nothing to persist: recovery
+// reconstructs it from its Config alone).
+func (s *ServerNode) Snapshot() *NodeSnapshot {
+	if s.filter == nil {
+		return nil
+	}
+	return &NodeSnapshot{
+		X:           s.filter.State().VecSlice(),
+		P:           s.filter.Cov().DataCopy(),
+		K:           s.filter.K(),
+		Seq:         s.lastSeq,
+		Ticks:       s.ticks,
+		LastNIS:     s.lastNIS,
+		NISValid:    s.nisValid,
+		Innovations: s.health.Window(),
+	}
+}
+
+// RestoreSnapshot rebuilds the node's filter and diagnostics from a
+// Snapshot taken on a node with the same Config. The restored filter is
+// bit-identical in (x, P, k), so every subsequent Predict/Correct — and
+// therefore every query answer — matches the snapshotted node exactly.
+func (s *ServerNode) RestoreSnapshot(snap *NodeSnapshot) error {
+	if snap == nil {
+		return errors.New("core: nil node snapshot")
+	}
+	n := s.cfg.Model.Dim
+	if len(snap.X) != n || len(snap.P) != n*n {
+		return fmt.Errorf("core: snapshot for %s has %d states / %d covariances, model %s wants %d / %d",
+			s.cfg.SourceID, len(snap.X), len(snap.P), s.cfg.Model.Name, n, n*n)
+	}
+	// Construct through the model's own bootstrap path so the filter
+	// carries the right matrices, then overwrite the mutable state.
+	f, err := s.cfg.Model.NewFilter(make([]float64, s.cfg.Model.MeasDim))
+	if err != nil {
+		return err
+	}
+	f.Restore(mat.FromSlice(n, 1, snap.X), mat.FromSlice(n, n, snap.P), snap.K)
+	if err := s.health.RestoreWindow(snap.Innovations); err != nil {
+		return err
+	}
+	s.filter = f
+	s.lastSeq = snap.Seq
+	s.ticks = snap.Ticks
+	s.lastNIS = snap.LastNIS
+	s.nisValid = snap.NISValid
+	return nil
+}
 
 func clone(v []float64) []float64 {
 	out := make([]float64, len(v))

@@ -149,6 +149,13 @@ func (s *Server) RegisterAggregate(q AggregateQuery) error {
 			F:        q.F,
 			Model:    q.Model,
 		}
+		// A durable server recovers per-source sub-queries from the WAL
+		// before the aggregate itself is re-installed at startup; the
+		// namespaced id can only come from a prior install of this same
+		// aggregate, so an existing sub-query is adopted, not an error.
+		if s.HasQuery(sub.ID) {
+			continue
+		}
 		if err := s.Register(sub); err != nil {
 			// Roll back the sub-queries installed so far.
 			for _, id := range installed {

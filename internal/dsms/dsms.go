@@ -108,6 +108,8 @@ type sourceState struct {
 	lastSeq int                // seq of the last transmitted update (-1 before any)
 	history *synopsis.Store    // optional historical-query recorder
 	times   timeMap            // seq-to-time mapping from update timestamps
+	walBuf  []byte             // reusable WAL record encode buffer (durable servers)
+	ckptSeq int                // last update seq covered by a checkpoint (-1 before any)
 }
 
 // Server is the central DSMS node.
@@ -140,6 +142,10 @@ type Server struct {
 
 	winMu   sync.Mutex
 	windows map[string]WindowQuery
+
+	// db is the durability layer (write-ahead log + checkpoints); nil
+	// on an in-memory server. See persist.go.
+	db *durability
 }
 
 // NewServer returns a server resolving models from catalog. Every
@@ -184,9 +190,16 @@ func (s *Server) Register(q stream.Query) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Log the registration attempt before the remaining in-memory
+	// checks: a record whose registration is then rejected (duplicate
+	// id, model conflict) is rejected identically at replay, so the
+	// log never needs unwinding.
+	if err := s.db.appendRegister(q); err != nil {
+		return fmt.Errorf("dsms: logging registration: %w", err)
+	}
 	st := s.sources[q.SourceID]
 	if st == nil {
-		st = &sourceState{id: q.SourceID, ins: s.tel.source(q.SourceID), lastSeq: -1}
+		st = &sourceState{id: q.SourceID, ins: s.tel.source(q.SourceID), lastSeq: -1, ckptSeq: -1}
 		s.sources[q.SourceID] = st
 	}
 	st.mu.Lock()
@@ -291,9 +304,21 @@ func (s *Server) HandleUpdate(u core.Update) error {
 	st.ins.bytes.Add(int64(u.WireBytes()))
 	st.ins.seq.SetInt(int64(st.node.Seq()))
 	st.ins.observeHealth(st.node.Health())
+	// Log after the apply, under the same lock, before the caller can
+	// ack: rejected updates never enter the log, and the per-source
+	// record order equals the apply order (see persist.go).
+	if s.db != nil && !s.db.replaying {
+		if err := s.db.appendUpdate(st, &u); err != nil {
+			st.mu.Unlock()
+			return fmt.Errorf("dsms: logging update %s/%d: %w", u.SourceID, u.Seq, err)
+		}
+	}
 	st.mu.Unlock()
 	s.checkAlerts(u.SourceID, u.Seq)
 	s.notifySubscribers(u.SourceID, u.Seq)
+	if s.db != nil {
+		s.maybeCheckpoint()
+	}
 	return nil
 }
 
@@ -356,8 +381,15 @@ func (s *Server) StepAll(seq, workers int) int {
 			for st := range work {
 				st.mu.Lock()
 				if st.node != nil && st.node.Seq() < seq {
+					// Batch advances move the stale-update rejection
+					// boundary, so they are logged (after advancing,
+					// same lock) for exact replay; a log failure here
+					// surfaces on the next ingest append.
 					st.node.AdvanceTo(seq)
 					advanced.Add(1)
+					if s.db != nil && !s.db.replaying {
+						_ = s.db.appendAdvance(st, seq)
+					}
 				}
 				st.mu.Unlock()
 			}
@@ -404,6 +436,12 @@ type Stats struct {
 	Whiteness   float64 `json:"whiteness"`
 	HealthReady bool    `json:"health_ready"`
 	Healthy     bool    `json:"healthy"`
+
+	// Durability status (meaningful when Durable): every update up to
+	// Seq is in the write-ahead log, and CheckpointSeq is the last
+	// update sequence captured by a checkpoint (-1 before the first).
+	Durable       bool `json:"durable"`
+	CheckpointSeq int  `json:"checkpoint_seq,omitempty"`
 }
 
 // Stats returns per-source statistics, sorted by source id. The update
@@ -417,8 +455,9 @@ func (s *Server) Stats() []Stats {
 	defer s.mu.RUnlock()
 	out := make([]Stats, 0, len(s.sources))
 	for id, st := range s.sources {
-		stat := Stats{SourceID: id, Queries: len(st.queries), Model: st.cfg.Model.Name, Delta: st.cfg.Delta, Healthy: true}
+		stat := Stats{SourceID: id, Queries: len(st.queries), Model: st.cfg.Model.Name, Delta: st.cfg.Delta, Healthy: true, Durable: s.db != nil}
 		st.mu.Lock()
+		stat.CheckpointSeq = st.ckptSeq
 		stat.Updates = int(st.ins.updates.Value())
 		stat.Suppressed = int(st.ins.suppressed.Value())
 		stat.Bytes = int(st.ins.bytes.Value())

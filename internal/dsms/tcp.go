@@ -201,7 +201,11 @@ func (t *TCPServer) handle(conn net.Conn) {
 				}
 				continue
 			}
-			if w.Install(cfg.SourceID, cfg.Model.Name, cfg.Delta, cfg.F) != nil || !flushAck() {
+			// ResumeSeq tells a reconnecting source with live mirror
+			// state how far this server's (possibly crash-recovered)
+			// filter has advanced: resend unacked updates past it, no
+			// re-bootstrap. A fresh source ignores it and bootstraps.
+			if w.Install(cfg.SourceID, cfg.Model.Name, cfg.Delta, cfg.F, t.server.ResumeSeq(id)) != nil || !flushAck() {
 				return
 			}
 		case wire.TagUpdate:
@@ -270,16 +274,29 @@ func (t *TCPServer) handle(conn net.Conn) {
 // every subsequent Offer, Drain, and Close.
 type RemoteAgent struct {
 	agent  *Agent
-	conn   net.Conn
 	window int
+
+	// Redial state for Reconnect: how this agent was built.
+	addr     string
+	sourceID string
+	catalog  *Catalog
+	opts     DialOptions
+	cfg      core.Config
 
 	mu          sync.Mutex
 	cond        *sync.Cond
+	conn        net.Conn
 	w           *wire.Writer
 	outstanding []int64 // unacked update seqs, oldest first (monotonic)
 	sendTimes   []int64 // send timestamps parallel to outstanding (telemetry only)
-	err         error   // sticky transport/server error
-	closing     bool    // suppresses the close-induced read error
+	// pending retains the unacked updates themselves (parallel to
+	// outstanding) so a reconnect can resend exactly what a crashed
+	// server may have lost. Process hands each transmitted update a
+	// fresh Values slice, so retention adds no per-send allocations.
+	pending   []core.Update
+	lastAcked int64 // highest cumulatively acked seq (-1 before any)
+	err       error // sticky transport/server error
+	closing   bool  // suppresses the close-induced read error
 
 	ins *AgentInstruments // optional; set once at dial, nil-safe
 
@@ -293,23 +310,21 @@ func DialSource(addr, sourceID string, catalog *Catalog) (*RemoteAgent, error) {
 	return DialSourceOptions(addr, sourceID, catalog, DialOptions{})
 }
 
-// DialSourceOptions is DialSource with an explicit ack window.
-func DialSourceOptions(addr, sourceID string, catalog *Catalog, opts DialOptions) (*RemoteAgent, error) {
-	window := opts.Window
-	if window <= 0 {
-		window = DefaultWindow
-	}
+// dialHandshake dials addr and runs the preamble + hello → install
+// exchange, returning the connection, its framed writer/reader, and the
+// decoded install reply. On error the connection is already closed.
+func dialHandshake(addr, sourceID string, window int, opts DialOptions) (net.Conn, *wire.Writer, *wire.Reader, wire.Install, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("dsms: dial: %w", err)
+		return nil, nil, nil, wire.Install{}, fmt.Errorf("dsms: dial: %w", err)
 	}
 	// Size the write buffer for a full window of small update frames so
 	// coalesced bursts reach the kernel in one write.
 	w := wire.NewWriter(conn, 64*window, opts.MaxFrame)
 	r := wire.NewReader(conn, 0, opts.MaxFrame)
-	fail := func(err error) (*RemoteAgent, error) {
+	fail := func(err error) (net.Conn, *wire.Writer, *wire.Reader, wire.Install, error) {
 		conn.Close()
-		return nil, err
+		return nil, nil, nil, wire.Install{}, err
 	}
 	if err := w.WritePreamble(wire.Version); err != nil {
 		return fail(fmt.Errorf("dsms: send: %w", err))
@@ -342,21 +357,41 @@ func DialSourceOptions(addr, sourceID string, catalog *Catalog, opts DialOptions
 	if err != nil {
 		return fail(fmt.Errorf("dsms: handshake: %w", err))
 	}
+	return conn, w, r, inst, nil
+}
+
+// DialSourceOptions is DialSource with an explicit ack window.
+func DialSourceOptions(addr, sourceID string, catalog *Catalog, opts DialOptions) (*RemoteAgent, error) {
+	window := opts.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	conn, w, r, inst, err := dialHandshake(addr, sourceID, window, opts)
+	if err != nil {
+		return nil, err
+	}
 	m, err := catalog.Resolve(inst.Model)
 	if err != nil {
-		return fail(err)
+		conn.Close()
+		return nil, err
 	}
 	ra := &RemoteAgent{
 		conn:       conn,
 		window:     window,
+		addr:       addr,
+		sourceID:   sourceID,
+		catalog:    catalog,
+		opts:       opts,
 		w:          w,
+		lastAcked:  -1,
 		readerDone: make(chan struct{}),
 	}
 	ra.cond = sync.NewCond(&ra.mu)
-	cfg := core.Config{SourceID: sourceID, Model: m, Delta: inst.Delta, F: inst.F}
-	agent, err := NewAgent(cfg, core.TransportFunc(ra.sendUpdate))
+	ra.cfg = core.Config{SourceID: sourceID, Model: m, Delta: inst.Delta, F: inst.F}
+	agent, err := NewAgent(ra.cfg, core.TransportFunc(ra.sendUpdate))
 	if err != nil {
-		return fail(err)
+		conn.Close()
+		return nil, err
 	}
 	if opts.Telemetry != nil {
 		ra.ins = NewAgentInstruments(opts.Telemetry, sourceID)
@@ -397,6 +432,9 @@ func (r *RemoteAgent) readLoop(rd *wire.Reader) {
 				return
 			}
 			r.mu.Lock()
+			if seq > r.lastAcked {
+				r.lastAcked = seq
+			}
 			n := 0
 			for n < len(r.outstanding) && r.outstanding[n] <= seq {
 				n++
@@ -410,6 +448,7 @@ func (r *RemoteAgent) readLoop(rd *wire.Reader) {
 					r.sendTimes = r.sendTimes[:copy(r.sendTimes, r.sendTimes[n:])]
 				}
 				r.outstanding = r.outstanding[:copy(r.outstanding, r.outstanding[n:])]
+				r.pending = r.pending[:copy(r.pending, r.pending[n:])]
 				r.ins.setWindow(len(r.outstanding))
 			}
 			if r.err == nil && r.w.Buffered() > 0 {
@@ -458,17 +497,25 @@ func (r *RemoteAgent) sendUpdate(u core.Update) error {
 		}
 		r.cond.Wait()
 	}
-	if r.err != nil {
-		return r.err
-	}
 	if r.closing {
 		return errAgentClosed
 	}
+	if r.err != nil {
+		// The connection is broken, but the mirror filter has already
+		// folded this update in (core.SourceNode.Process mutates before
+		// transmitting). Dropping it would silently desynchronize KFs
+		// from KFm, so retain it for Reconnect to resend; the caller
+		// sees the sticky error and decides when to redial.
+		r.pending = append(r.pending, u)
+		return r.err
+	}
 	if err := r.w.Update(&u); err != nil {
 		r.err = fmt.Errorf("dsms: send: %w", err)
+		r.pending = append(r.pending, u)
 		return r.err
 	}
 	r.outstanding = append(r.outstanding, int64(u.Seq))
+	r.pending = append(r.pending, u)
 	if r.ins != nil {
 		r.sendTimes = append(r.sendTimes, nowNanos())
 		r.ins.setWindow(len(r.outstanding))
@@ -540,6 +587,88 @@ func (r *RemoteAgent) Drain() error {
 
 // Stats exposes the source node counters.
 func (r *RemoteAgent) Stats() core.SourceStats { return r.agent.Stats() }
+
+// Reconnect re-establishes the server connection after a transport
+// failure and resends every update the (possibly crash-recovered)
+// server may not have durably applied. The install reply's ResumeSeq —
+// the sequence the server's recovered filter has reached — decides
+// what to resend: pending updates at or below it were recovered and
+// are dropped, the rest are retransmitted in order. Mirror synchrony
+// survives because the resent suffix is exactly the suffix the server
+// missed. Reconnect fails if the server's recovered state predates an
+// update it already acknowledged (state loss a resend cannot repair)
+// or if the reinstalled procedure no longer matches the one this
+// agent mirrors; the sticky error is cleared only on success.
+func (r *RemoteAgent) Reconnect() error {
+	r.mu.Lock()
+	if r.closing {
+		r.mu.Unlock()
+		return errAgentClosed
+	}
+	oldConn := r.conn
+	r.mu.Unlock()
+
+	// Tear down the old connection and wait out its reader so the old
+	// readLoop cannot race the swap below.
+	oldConn.Close()
+	<-r.readerDone
+
+	conn, w, rd, inst, err := dialHandshake(r.addr, r.sourceID, r.window, r.opts)
+	if err != nil {
+		return err
+	}
+	if inst.Model != r.cfg.Model.Name || inst.Delta != r.cfg.Delta || inst.F != r.cfg.F {
+		conn.Close()
+		return fmt.Errorf("dsms: reconnect: server procedure changed (model %s delta=%v F=%v; agent mirrors model %s delta=%v F=%v)",
+			inst.Model, inst.Delta, inst.F, r.cfg.Model.Name, r.cfg.Delta, r.cfg.F)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closing {
+		conn.Close()
+		return errAgentClosed
+	}
+	if inst.ResumeSeq < r.lastAcked {
+		conn.Close()
+		return fmt.Errorf("dsms: reconnect: server recovered to seq %d, behind acknowledged seq %d — durable state lost", inst.ResumeSeq, r.lastAcked)
+	}
+	// Drop the pending prefix the recovered server already holds.
+	n := 0
+	for n < len(r.pending) && int64(r.pending[n].Seq) <= inst.ResumeSeq {
+		n++
+	}
+	r.pending = r.pending[:copy(r.pending, r.pending[n:])]
+	r.conn = conn
+	r.w = w
+	r.err = nil
+	r.outstanding = r.outstanding[:0]
+	r.sendTimes = r.sendTimes[:0]
+	r.readerDone = make(chan struct{})
+	// Retransmit the suffix the server missed before starting the new
+	// reader, so resent frames precede anything a concurrent Offer
+	// ships on the fresh connection.
+	for i := range r.pending {
+		u := &r.pending[i]
+		if err := r.w.Update(u); err != nil {
+			r.err = fmt.Errorf("dsms: send: %w", err)
+			break
+		}
+		r.outstanding = append(r.outstanding, int64(u.Seq))
+		if r.ins != nil {
+			r.sendTimes = append(r.sendTimes, nowNanos())
+		}
+	}
+	if r.err == nil && r.w.Buffered() > 0 {
+		if err := r.w.Flush(); err != nil {
+			r.err = fmt.Errorf("dsms: send: %w", err)
+		}
+	}
+	r.ins.setWindow(len(r.outstanding))
+	go r.readLoop(rd)
+	r.cond.Broadcast()
+	return r.err
+}
 
 // Close tears down the connection after a best-effort flush and waits
 // for the reader to exit. Use Drain first when every update must be

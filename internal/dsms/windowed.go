@@ -85,8 +85,13 @@ func (s *Server) RegisterWindow(q WindowQuery) error {
 		F:        q.F,
 		Model:    q.Model,
 	}
-	if err := s.Register(base); err != nil {
-		return fmt.Errorf("dsms: window query %s: %w", q.ID, err)
+	// The namespaced base id can only exist from a prior install of this
+	// same window query (e.g. recovered from a durable server's WAL):
+	// adopt it instead of failing the re-install.
+	if !s.HasQuery(base.ID) {
+		if err := s.Register(base); err != nil {
+			return fmt.Errorf("dsms: window query %s: %w", q.ID, err)
+		}
 	}
 	if err := s.EnableHistory(q.SourceID); err != nil {
 		// History may already be enabled for this source; that is fine.

@@ -30,7 +30,13 @@ import (
 
 // Version is the protocol version this package speaks. Peers with a
 // different version are rejected during the preamble exchange.
-const Version byte = 1
+//
+// Version history:
+//
+//	1  initial binary framing (replaced gob)
+//	2  install frames carry ResumeSeq so a durable server can tell a
+//	   reconnecting source to resume instead of re-bootstrapping
+const Version byte = 2
 
 // DefaultMaxFrame caps the accepted frame length (tag + payload). A
 // frame announcing a larger length is rejected before any payload is
@@ -227,23 +233,34 @@ func (w *Writer) finish() error {
 	return nil
 }
 
-func appendU16(b []byte, v uint16) []byte {
+// AppendU16 appends v little-endian. The Append* helpers are the
+// building blocks of every frame payload; internal/wal reuses them so
+// its on-disk records share this package's encoding exactly.
+func AppendU16(b []byte, v uint16) []byte {
 	return append(b, byte(v), byte(v>>8))
 }
 
-func appendI64(b []byte, v int64) []byte {
+// AppendU32 appends v little-endian.
+func AppendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// AppendI64 appends v little-endian as its two's-complement bits.
+func AppendI64(b []byte, v int64) []byte {
 	return binary.LittleEndian.AppendUint64(b, uint64(v))
 }
 
-func appendF64(b []byte, v float64) []byte {
+// AppendF64 appends the IEEE 754 bits of v little-endian.
+func AppendF64(b []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 }
 
-func appendString(b []byte, s string) ([]byte, error) {
+// AppendString appends a u16 length prefix followed by the bytes of s.
+func AppendString(b []byte, s string) ([]byte, error) {
 	if len(s) > math.MaxUint16 {
 		return b, fmt.Errorf("wire: string field of %d bytes exceeds %d", len(s), math.MaxUint16)
 	}
-	b = appendU16(b, uint16(len(s)))
+	b = AppendU16(b, uint16(len(s)))
 	return append(b, s...), nil
 }
 
@@ -251,26 +268,57 @@ func appendString(b []byte, s string) ([]byte, error) {
 func (w *Writer) Hello(sourceID string) error {
 	w.begin(TagHello)
 	var err error
-	if w.scratch, err = appendString(w.scratch, sourceID); err != nil {
+	if w.scratch, err = AppendString(w.scratch, sourceID); err != nil {
 		return err
 	}
 	return w.finish()
 }
 
 // Install buffers the server's handshake reply: the filter configuration
-// the connecting source must run.
-func (w *Writer) Install(sourceID, model string, delta, f float64) error {
+// the connecting source must run. resumeSeq >= 0 tells a source holding
+// unacknowledged updates past that sequence to resend them and continue
+// without re-bootstrapping (the server recovered its filter state from
+// durable storage); resumeSeq < 0 means the server has no state for the
+// source and expects a bootstrap.
+func (w *Writer) Install(sourceID, model string, delta, f float64, resumeSeq int64) error {
 	w.begin(TagInstall)
 	var err error
-	if w.scratch, err = appendString(w.scratch, sourceID); err != nil {
+	if w.scratch, err = AppendString(w.scratch, sourceID); err != nil {
 		return err
 	}
-	if w.scratch, err = appendString(w.scratch, model); err != nil {
+	if w.scratch, err = AppendString(w.scratch, model); err != nil {
 		return err
 	}
-	w.scratch = appendF64(w.scratch, delta)
-	w.scratch = appendF64(w.scratch, f)
+	w.scratch = AppendF64(w.scratch, delta)
+	w.scratch = AppendF64(w.scratch, f)
+	w.scratch = AppendI64(w.scratch, resumeSeq)
 	return w.finish()
+}
+
+// AppendUpdate appends the update payload encoding of u to b — the
+// exact bytes a TagUpdate frame carries, also reused verbatim as the
+// WAL update record payload. Appending into a scratch buffer with spare
+// capacity allocates nothing.
+func AppendUpdate(b []byte, u *core.Update) ([]byte, error) {
+	var err error
+	if b, err = AppendString(b, u.SourceID); err != nil {
+		return b, err
+	}
+	if len(u.Values) > math.MaxUint16 {
+		return b, fmt.Errorf("wire: update with %d values exceeds %d", len(u.Values), math.MaxUint16)
+	}
+	b = AppendI64(b, int64(u.Seq))
+	b = AppendF64(b, u.Time)
+	var flags byte
+	if u.Bootstrap {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = AppendU16(b, uint16(len(u.Values)))
+	for _, v := range u.Values {
+		b = AppendF64(b, v)
+	}
+	return b, nil
 }
 
 // Update buffers one DKF update frame. Seq travels as int64 so 32-bit
@@ -278,22 +326,8 @@ func (w *Writer) Install(sourceID, model string, delta, f float64) error {
 func (w *Writer) Update(u *core.Update) error {
 	w.begin(TagUpdate)
 	var err error
-	if w.scratch, err = appendString(w.scratch, u.SourceID); err != nil {
+	if w.scratch, err = AppendUpdate(w.scratch, u); err != nil {
 		return err
-	}
-	if len(u.Values) > math.MaxUint16 {
-		return fmt.Errorf("wire: update with %d values exceeds %d", len(u.Values), math.MaxUint16)
-	}
-	w.scratch = appendI64(w.scratch, int64(u.Seq))
-	w.scratch = appendF64(w.scratch, u.Time)
-	var flags byte
-	if u.Bootstrap {
-		flags |= 1
-	}
-	w.scratch = append(w.scratch, flags)
-	w.scratch = appendU16(w.scratch, uint16(len(u.Values)))
-	for _, v := range u.Values {
-		w.scratch = appendF64(w.scratch, v)
 	}
 	return w.finish()
 }
@@ -302,7 +336,7 @@ func (w *Writer) Update(u *core.Update) error {
 // number <= seq has been folded into the server filter.
 func (w *Writer) Ack(seq int64) error {
 	w.begin(TagAck)
-	w.scratch = appendI64(w.scratch, seq)
+	w.scratch = AppendI64(w.scratch, seq)
 	return w.finish()
 }
 
@@ -310,10 +344,10 @@ func (w *Writer) Ack(seq int64) error {
 func (w *Writer) Query(queryID string, seq int64) error {
 	w.begin(TagQuery)
 	var err error
-	if w.scratch, err = appendString(w.scratch, queryID); err != nil {
+	if w.scratch, err = AppendString(w.scratch, queryID); err != nil {
 		return err
 	}
-	w.scratch = appendI64(w.scratch, seq)
+	w.scratch = AppendI64(w.scratch, seq)
 	return w.finish()
 }
 
@@ -321,15 +355,15 @@ func (w *Writer) Query(queryID string, seq int64) error {
 func (w *Writer) Answer(queryID string, values []float64) error {
 	w.begin(TagAnswer)
 	var err error
-	if w.scratch, err = appendString(w.scratch, queryID); err != nil {
+	if w.scratch, err = AppendString(w.scratch, queryID); err != nil {
 		return err
 	}
 	if len(values) > math.MaxUint16 {
 		return fmt.Errorf("wire: answer with %d values exceeds %d", len(values), math.MaxUint16)
 	}
-	w.scratch = appendU16(w.scratch, uint16(len(values)))
+	w.scratch = AppendU16(w.scratch, uint16(len(values)))
 	for _, v := range values {
-		w.scratch = appendF64(w.scratch, v)
+		w.scratch = AppendF64(w.scratch, v)
 	}
 	return w.finish()
 }
@@ -341,7 +375,7 @@ func (w *Writer) Error(msg string) error {
 		msg = msg[:math.MaxUint16]
 	}
 	w.begin(TagError)
-	w.scratch, _ = appendString(w.scratch, msg)
+	w.scratch, _ = AppendString(w.scratch, msg)
 	return w.finish()
 }
 
@@ -427,16 +461,21 @@ func internID(cache *string, b []byte) string {
 	return *cache
 }
 
-// cur is a bounds-checked decode cursor over a frame payload.
-type cur struct {
+// Cursor is a bounds-checked decode cursor over an encoded payload.
+// Reads past the end latch it into a failed state (OK turns false) and
+// return zero values, so a decoder can read a whole layout and check
+// validity once at the end. internal/wal reuses it for on-disk records.
+type Cursor struct {
 	b   []byte
 	off int
 	ok  bool
 }
 
-func newCur(p []byte) cur { return cur{b: p, ok: true} }
+// NewCursor returns a cursor positioned at the start of p.
+func NewCursor(p []byte) Cursor { return Cursor{b: p, ok: true} }
 
-func (c *cur) take(n int) []byte {
+// Take consumes and returns the next n bytes, or nil past the end.
+func (c *Cursor) Take(n int) []byte {
 	if !c.ok || c.off+n > len(c.b) {
 		c.ok = false
 		return nil
@@ -446,45 +485,62 @@ func (c *cur) take(n int) []byte {
 	return s
 }
 
-func (c *cur) u8() byte {
-	s := c.take(1)
+// U8 consumes one byte.
+func (c *Cursor) U8() byte {
+	s := c.Take(1)
 	if s == nil {
 		return 0
 	}
 	return s[0]
 }
 
-func (c *cur) u16() uint16 {
-	s := c.take(2)
+// U16 consumes a little-endian uint16.
+func (c *Cursor) U16() uint16 {
+	s := c.Take(2)
 	if s == nil {
 		return 0
 	}
 	return binary.LittleEndian.Uint16(s)
 }
 
-func (c *cur) i64() int64 {
-	s := c.take(8)
+// U32 consumes a little-endian uint32.
+func (c *Cursor) U32() uint32 {
+	s := c.Take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+// I64 consumes a little-endian int64.
+func (c *Cursor) I64() int64 {
+	s := c.Take(8)
 	if s == nil {
 		return 0
 	}
 	return int64(binary.LittleEndian.Uint64(s))
 }
 
-func (c *cur) f64() float64 {
-	s := c.take(8)
+// F64 consumes a little-endian IEEE 754 float64.
+func (c *Cursor) F64() float64 {
+	s := c.Take(8)
 	if s == nil {
 		return 0
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(s))
 }
 
-func (c *cur) str() []byte {
-	n := int(c.u16())
-	return c.take(n)
+// Str consumes a u16-length-prefixed byte string.
+func (c *Cursor) Str() []byte {
+	n := int(c.U16())
+	return c.Take(n)
 }
 
-// done reports a fully and exactly consumed payload.
-func (c *cur) done() bool { return c.ok && c.off == len(c.b) }
+// OK reports whether every read so far stayed in bounds.
+func (c *Cursor) OK() bool { return c.ok }
+
+// Done reports a fully and exactly consumed payload.
+func (c *Cursor) Done() bool { return c.ok && c.off == len(c.b) }
 
 func malformed(tag Tag) error {
 	return fmt.Errorf("%w: bad %v payload", ErrMalformed, tag)
@@ -492,50 +548,54 @@ func malformed(tag Tag) error {
 
 // DecodeHello parses a hello payload.
 func DecodeHello(p []byte) (sourceID string, err error) {
-	c := newCur(p)
-	id := c.str()
-	if !c.done() {
+	c := NewCursor(p)
+	id := c.Str()
+	if !c.Done() {
 		return "", malformed(TagHello)
 	}
 	return string(id), nil
 }
 
-// Install is the decoded handshake reply.
+// Install is the decoded handshake reply. ResumeSeq >= 0 means the
+// server already holds filter state for the source through that
+// sequence and the source should resume; < 0 means bootstrap.
 type Install struct {
-	SourceID string
-	Model    string
-	Delta    float64
-	F        float64
+	SourceID  string
+	Model     string
+	Delta     float64
+	F         float64
+	ResumeSeq int64
 }
 
 // DecodeInstall parses an install payload.
 func DecodeInstall(p []byte) (Install, error) {
-	c := newCur(p)
-	id := c.str()
-	model := c.str()
-	delta := c.f64()
-	f := c.f64()
-	if !c.done() {
+	c := NewCursor(p)
+	id := c.Str()
+	model := c.Str()
+	delta := c.F64()
+	f := c.F64()
+	resume := c.I64()
+	if !c.Done() {
 		return Install{}, malformed(TagInstall)
 	}
-	return Install{SourceID: string(id), Model: string(model), Delta: delta, F: f}, nil
+	return Install{SourceID: string(id), Model: string(model), Delta: delta, F: f, ResumeSeq: resume}, nil
 }
 
-// DecodeUpdate parses an update payload into u, reusing u.Values and the
-// reader's source-id intern cache so steady-state decoding allocates
-// nothing.
-func (r *Reader) DecodeUpdate(p []byte, u *core.Update) error {
-	c := newCur(p)
-	id := c.str()
-	seq := c.i64()
-	tim := c.f64()
-	flags := c.u8()
-	n := int(c.u16())
-	vals := c.take(8 * n)
-	if !c.done() || id == nil {
+// decodeUpdateBody parses the shared update payload layout into u,
+// reusing u.Values. The SourceID bytes are passed through intern (which
+// may allocate or reuse a cached string).
+func decodeUpdateBody(p []byte, u *core.Update, intern func([]byte) string) error {
+	c := NewCursor(p)
+	id := c.Str()
+	seq := c.I64()
+	tim := c.F64()
+	flags := c.U8()
+	n := int(c.U16())
+	vals := c.Take(8 * n)
+	if !c.Done() || id == nil {
 		return malformed(TagUpdate)
 	}
-	u.SourceID = internID(&r.lastID, id)
+	u.SourceID = intern(id)
 	u.Seq = int(seq)
 	u.Time = tim
 	u.Bootstrap = flags&1 != 0
@@ -546,11 +606,25 @@ func (r *Reader) DecodeUpdate(p []byte, u *core.Update) error {
 	return nil
 }
 
+// DecodeUpdate parses an update payload into u, reusing u.Values and the
+// reader's source-id intern cache so steady-state decoding allocates
+// nothing.
+func (r *Reader) DecodeUpdate(p []byte, u *core.Update) error {
+	return decodeUpdateBody(p, u, func(b []byte) string { return internID(&r.lastID, b) })
+}
+
+// DecodeUpdatePayload parses a standalone update payload (e.g. a WAL
+// record) into u, reusing u.Values. The source id is freshly allocated;
+// callers replaying many records may intern it themselves.
+func DecodeUpdatePayload(p []byte, u *core.Update) error {
+	return decodeUpdateBody(p, u, func(b []byte) string { return string(b) })
+}
+
 // DecodeAck parses a cumulative ack payload.
 func DecodeAck(p []byte) (seq int64, err error) {
-	c := newCur(p)
-	seq = c.i64()
-	if !c.done() {
+	c := NewCursor(p)
+	seq = c.I64()
+	if !c.Done() {
 		return 0, malformed(TagAck)
 	}
 	return seq, nil
@@ -558,10 +632,10 @@ func DecodeAck(p []byte) (seq int64, err error) {
 
 // DecodeQuery parses a query payload, interning the repeated query id.
 func (r *Reader) DecodeQuery(p []byte) (queryID string, seq int64, err error) {
-	c := newCur(p)
-	id := c.str()
-	seq = c.i64()
-	if !c.done() || id == nil {
+	c := NewCursor(p)
+	id := c.Str()
+	seq = c.I64()
+	if !c.Done() || id == nil {
 		return "", 0, malformed(TagQuery)
 	}
 	return internID(&r.lastQID, id), seq, nil
@@ -570,11 +644,11 @@ func (r *Reader) DecodeQuery(p []byte) (queryID string, seq int64, err error) {
 // DecodeAnswer parses an answer payload. The values slice is freshly
 // allocated: answers are handed to callers who retain them.
 func DecodeAnswer(p []byte) (queryID string, values []float64, err error) {
-	c := newCur(p)
-	id := c.str()
-	n := int(c.u16())
-	raw := c.take(8 * n)
-	if !c.done() || id == nil {
+	c := NewCursor(p)
+	id := c.Str()
+	n := int(c.U16())
+	raw := c.Take(8 * n)
+	if !c.Done() || id == nil {
 		return "", nil, malformed(TagAnswer)
 	}
 	values = make([]float64, n)
@@ -586,9 +660,9 @@ func DecodeAnswer(p []byte) (queryID string, values []float64, err error) {
 
 // DecodeError parses an error payload.
 func DecodeError(p []byte) (msg string, err error) {
-	c := newCur(p)
-	m := c.str()
-	if !c.done() {
+	c := NewCursor(p)
+	m := c.Str()
+	if !c.Done() {
 		return "", malformed(TagError)
 	}
 	return string(m), nil

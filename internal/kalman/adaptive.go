@@ -74,6 +74,45 @@ func (n *NoiseEstimator) ObserveFilter(f *Filter) bool {
 // Ready reports whether a full window of innovations has been observed.
 func (n *NoiseEstimator) Ready() bool { return n.filled }
 
+// Window returns the observed innovations in time order, oldest first,
+// each as a fresh value slice. Together with RestoreWindow it lets a
+// checkpoint persist the whiteness state of a stream's health monitor,
+// so a recovered server reports the same diagnostics bit for bit.
+func (n *NoiseEstimator) Window() [][]float64 {
+	count := n.next
+	if n.filled {
+		count = n.window
+	}
+	out := make([][]float64, 0, count)
+	for i := 0; i < count; i++ {
+		idx := i
+		if n.filled {
+			idx = (n.next + i) % n.window
+		}
+		out = append(out, n.buf[idx].VecSlice())
+	}
+	return out
+}
+
+// RestoreWindow refills the estimator from a Window snapshot, oldest
+// first. More innovations than the window holds keeps only the most
+// recent windowful, matching what observing them live would have left.
+func (n *NoiseEstimator) RestoreWindow(innovs [][]float64) error {
+	if len(innovs) > n.window {
+		innovs = innovs[len(innovs)-n.window:]
+		// The ring has wrapped, exactly as live observation would have.
+	}
+	n.next = 0
+	n.filled = false
+	for _, v := range innovs {
+		if len(v) != n.m {
+			return fmt.Errorf("kalman: RestoreWindow innovation has %d values, want %d", len(v), n.m)
+		}
+		n.Observe(mat.Vec(v...))
+	}
+	return nil
+}
+
 // Whiteness returns the lag-1 autocorrelation of the observed innovation
 // sequence,
 //

@@ -458,6 +458,31 @@ func (f *Filter) Reset(x0, p0 *mat.Matrix) {
 	f.ws.sValid = false
 }
 
+// Restore overwrites the filter's state estimate, covariance and
+// discrete time index — the checkpoint-recovery counterpart of Reset,
+// which rewinds k to zero instead. The restored filter produces the
+// exact same Predict/Correct trajectory as the original because those
+// operations read only (x, P, k) plus the construction-time model
+// matrices; the gain/innovation diagnostics reset to their
+// pre-first-correction state and are rebuilt by the next Correct.
+func (f *Filter) Restore(x, p *mat.Matrix, k int) {
+	if x.Rows() != f.x.Rows() || x.Cols() != 1 {
+		panic(fmt.Sprintf("kalman: Restore state is %dx%d, want %dx1", x.Rows(), x.Cols(), f.x.Rows()))
+	}
+	if p.Rows() != f.p.Rows() || p.Cols() != f.p.Cols() {
+		panic(fmt.Sprintf("kalman: Restore covariance is %dx%d, want %dx%d", p.Rows(), p.Cols(), f.p.Rows(), f.p.Cols()))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("kalman: Restore time index %d, want >= 0", k))
+	}
+	f.x = x.Clone()
+	f.p = p.Clone()
+	f.k = k
+	f.gain, f.innov = nil, nil
+	f.corrected = false
+	f.ws.sValid = false
+}
+
 // SetNoise replaces the process and/or measurement noise covariances.
 // Nil arguments leave the corresponding covariance unchanged. Used by the
 // adaptive noise estimator.

@@ -156,6 +156,15 @@ func (m *Matrix) Row(i int) []float64 {
 	return out
 }
 
+// DataCopy returns the matrix contents as a fresh row-major slice of
+// length Rows*Cols — the serialization form used by checkpoint and
+// snapshot code. FromSlice is the inverse.
+func (m *Matrix) DataCopy() []float64 {
+	out := make([]float64, len(m.data))
+	copy(out, m.data)
+	return out
+}
+
 // VecSlice returns the contents of a column vector as a fresh slice.
 // m must have exactly one column.
 func (m *Matrix) VecSlice() []float64 {

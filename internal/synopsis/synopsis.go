@@ -12,9 +12,12 @@ package synopsis
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 
+	"streamkf/internal/dsms/wire"
 	"streamkf/internal/kalman"
 	"streamkf/internal/mat"
 	"streamkf/internal/model"
@@ -152,7 +155,35 @@ func (s *Store) Reconstruct() ([]stream.Reading, error) {
 	return out, nil
 }
 
-// encoded is the gob wire shape of a Store.
+// Encoding. Stores serialize in the same little-endian framed style as
+// the DSMS wire protocol, self-delimited and corruption-detecting
+// (model referenced by name; decoding resolves it from a
+// caller-provided registry, keeping matrices off the wire exactly like
+// the DSMS install handshake):
+//
+//	[4]byte  magic "KSYN"
+//	u8       version (synVersion)
+//	str      modelName   (u16 length prefix)
+//	f64      tol
+//	i64      bootSeq
+//	u16      len(boot); f64 per value
+//	i64      lastSeq
+//	i64      n
+//	u32      corrections; per correction: i64 seq, u16 len, f64 per value
+//	u32      crc (CRC32C over everything before it)
+//
+// Summaries written by earlier builds used encoding/gob; Decode still
+// reads those (a gob stream can never start with "KSYN").
+
+// synMagic opens an encoded Store ("Kalman SYNopsis").
+var synMagic = [4]byte{'K', 'S', 'Y', 'N'}
+
+const synVersion = 1
+
+var synCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encoded is the legacy gob wire shape of a Store, kept for read-only
+// decoding of pre-binary archives.
 type encoded struct {
 	ModelName   string
 	Tol         float64
@@ -163,33 +194,105 @@ type encoded struct {
 	N           int
 }
 
-// Encode serializes the summary (model referenced by name; decoding
-// resolves it from a caller-provided registry, keeping matrices off the
-// wire exactly like the DSMS install handshake).
+// Encode serializes the summary in the framed binary format above.
 func (s *Store) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	err := gob.NewEncoder(&buf).Encode(encoded{
-		ModelName:   s.modelName,
-		Tol:         s.tol,
-		BootSeq:     s.bootSeq,
-		Boot:        s.boot,
-		Corrections: s.corrections,
-		LastSeq:     s.lastSeq,
-		N:           s.n,
-	})
-	if err != nil {
+	buf := make([]byte, 0, 64+len(s.modelName)+8*len(s.boot)+16*len(s.corrections))
+	buf = append(buf, synMagic[:]...)
+	buf = append(buf, synVersion)
+	var err error
+	if buf, err = wire.AppendString(buf, s.modelName); err != nil {
 		return nil, fmt.Errorf("synopsis: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	buf = wire.AppendF64(buf, s.tol)
+	buf = wire.AppendI64(buf, int64(s.bootSeq))
+	if len(s.boot) > 0xffff {
+		return nil, fmt.Errorf("synopsis: encode: bootstrap dimension %d overflows u16", len(s.boot))
+	}
+	buf = wire.AppendU16(buf, uint16(len(s.boot)))
+	for _, v := range s.boot {
+		buf = wire.AppendF64(buf, v)
+	}
+	buf = wire.AppendI64(buf, int64(s.lastSeq))
+	buf = wire.AppendI64(buf, int64(s.n))
+	buf = wire.AppendU32(buf, uint32(len(s.corrections)))
+	for _, c := range s.corrections {
+		buf = wire.AppendI64(buf, int64(c.Seq))
+		if len(c.Values) > 0xffff {
+			return nil, fmt.Errorf("synopsis: encode: correction dimension %d overflows u16", len(c.Values))
+		}
+		buf = wire.AppendU16(buf, uint16(len(c.Values)))
+		for _, v := range c.Values {
+			buf = wire.AppendF64(buf, v)
+		}
+	}
+	buf = wire.AppendU32(buf, crc32.Checksum(buf, synCastagnoli))
+	return buf, nil
 }
 
 // Decode reconstructs a summary from Encode output, resolving the model
-// by name.
+// by name. Gob payloads from earlier builds decode via the legacy path.
 func Decode(data []byte, resolve func(name string) (model.Model, error)) (*Store, error) {
+	if len(data) < 4 || [4]byte(data[:4]) != synMagic {
+		return decodeGob(data, resolve)
+	}
+	if len(data) < 9 {
+		return nil, fmt.Errorf("synopsis: decode: truncated header")
+	}
+	if data[4] != synVersion {
+		return nil, fmt.Errorf("synopsis: decode: version %d, this build reads %d", data[4], synVersion)
+	}
+	body := data[:len(data)-4]
+	if crc32.Checksum(body, synCastagnoli) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, fmt.Errorf("synopsis: decode: crc mismatch (corrupt)")
+	}
+	c := wire.NewCursor(body[5:])
+	e := encoded{}
+	e.ModelName = string(c.Str())
+	e.Tol = c.F64()
+	e.BootSeq = int(c.I64())
+	nb := int(c.U16())
+	if !c.OK() {
+		return nil, fmt.Errorf("synopsis: decode: truncated summary")
+	}
+	e.Boot = make([]float64, nb)
+	for i := range e.Boot {
+		e.Boot[i] = c.F64()
+	}
+	e.LastSeq = int(c.I64())
+	e.N = int(c.I64())
+	nc := int(c.U32())
+	if !c.OK() || nc > len(data) {
+		return nil, fmt.Errorf("synopsis: decode: truncated summary")
+	}
+	e.Corrections = make([]Point, 0, nc)
+	for i := 0; i < nc; i++ {
+		p := Point{Seq: int(c.I64())}
+		nv := int(c.U16())
+		if !c.OK() || nv > len(data) {
+			return nil, fmt.Errorf("synopsis: decode: truncated correction")
+		}
+		p.Values = make([]float64, nv)
+		for j := range p.Values {
+			p.Values[j] = c.F64()
+		}
+		e.Corrections = append(e.Corrections, p)
+	}
+	if !c.Done() {
+		return nil, fmt.Errorf("synopsis: decode: malformed summary")
+	}
+	return restore(e, resolve)
+}
+
+// decodeGob reads the legacy gob encoding (read-only fallback).
+func decodeGob(data []byte, resolve func(name string) (model.Model, error)) (*Store, error) {
 	var e encoded
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
 		return nil, fmt.Errorf("synopsis: decode: %w", err)
 	}
+	return restore(e, resolve)
+}
+
+func restore(e encoded, resolve func(name string) (model.Model, error)) (*Store, error) {
 	m, err := resolve(e.ModelName)
 	if err != nil {
 		return nil, err

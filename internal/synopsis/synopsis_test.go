@@ -1,6 +1,8 @@
 package synopsis
 
 import (
+	"bytes"
+	"encoding/gob"
 	"math"
 	"math/rand"
 	"testing"
@@ -199,5 +201,71 @@ func TestReconstructionToleranceProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDecodeGobFallback: summaries written by earlier builds used
+// encoding/gob; Decode must still read them (the binary format is
+// sniffed by its "KSYN" magic, which no gob stream starts with).
+func TestDecodeGobFallback(t *testing.T) {
+	data := gen.Ramp(120, 5, 1.5, 0.05, 9)
+	s, _ := New(linearModel(), 1)
+	if err := s.AppendAll(data); err != nil {
+		t.Fatal(err)
+	}
+	legacy := encoded{
+		ModelName:   s.modelName,
+		Tol:         s.tol,
+		BootSeq:     s.bootSeq,
+		Boot:        s.boot,
+		Corrections: s.corrections,
+		LastSeq:     s.lastSeq,
+		N:           s.n,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(legacy); err != nil {
+		t.Fatal(err)
+	}
+	resolve := func(string) (model.Model, error) { return linearModel(), nil }
+	back, err := Decode(buf.Bytes(), resolve)
+	if err != nil {
+		t.Fatalf("legacy gob summary no longer decodes: %v", err)
+	}
+	origRec, err := s.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backRec, err := back.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origRec) != len(backRec) {
+		t.Fatalf("gob round-trip length %d vs %d", len(backRec), len(origRec))
+	}
+	for i := range origRec {
+		if origRec[i].Values[0] != backRec[i].Values[0] {
+			t.Fatalf("gob round-trip value mismatch at %d", i)
+		}
+	}
+}
+
+// TestDecodeDetectsEveryByteFlip: the trailing CRC32C must catch any
+// single corrupted byte in a binary summary.
+func TestDecodeDetectsEveryByteFlip(t *testing.T) {
+	s, _ := New(linearModel(), 1)
+	if err := s.AppendAll(gen.Ramp(40, 0, 1.2, 0.3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve := func(string) (model.Model, error) { return linearModel(), nil }
+	for i := range blob {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x40
+		if _, err := Decode(bad, resolve); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", i)
+		}
 	}
 }

@@ -1,0 +1,114 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"streamkf/internal/dsms/wire"
+)
+
+// Checkpoint file. A checkpoint is one atomically-replaced file holding
+// an opaque snapshot payload (internal/dsms encodes the full per-stream
+// filter state into it):
+//
+//	[4]byte  magic    "DKFC"
+//	uint8    version  (checkpointVersion)
+//	[3]byte  reserved (zero)
+//	uint32 LE length  (payload bytes)
+//	[]byte   payload
+//	uint32 LE crc     (CRC32C over everything before it)
+//
+// WriteCheckpoint writes to a temp file, fsyncs it, renames it over
+// CheckpointName and fsyncs the directory — so at every instant the
+// directory holds either the old complete checkpoint or the new one,
+// never a partial write. A corrupt checkpoint (torn rename is impossible
+// on POSIX, but a disk can still lie) fails recovery loudly rather than
+// silently bootstrapping fresh state.
+
+// CheckpointName is the checkpoint's file name within the data
+// directory.
+const CheckpointName = "state.ckpt"
+
+// ckptMagic opens the checkpoint file ("DKF Checkpoint").
+var ckptMagic = [4]byte{'D', 'K', 'F', 'C'}
+
+const (
+	checkpointVersion   = 1
+	checkpointHeaderLen = 12 // magic + version + reserved + length
+)
+
+// MaxCheckpoint caps the accepted checkpoint payload, bounding recovery
+// memory against a corrupt length field. 256 MiB holds tens of millions
+// of stream snapshots.
+const MaxCheckpoint = 256 << 20
+
+// WriteCheckpoint atomically replaces dir's checkpoint with payload.
+func WriteCheckpoint(dir string, payload []byte) error {
+	if len(payload) > MaxCheckpoint {
+		return fmt.Errorf("wal: checkpoint payload of %d bytes exceeds %d", len(payload), MaxCheckpoint)
+	}
+	buf := make([]byte, 0, checkpointHeaderLen+len(payload)+4)
+	buf = append(buf, ckptMagic[:]...)
+	buf = append(buf, checkpointVersion, 0, 0, 0)
+	buf = wire.AppendU32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = wire.AppendU32(buf, crc32.Checksum(buf, castagnoli))
+
+	tmp := filepath.Join(dir, CheckpointName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, CheckpointName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ReadCheckpoint returns the checkpoint payload, or (nil, nil) when dir
+// has no checkpoint yet. Validation failures wrap ErrCorrupt.
+func ReadCheckpoint(dir string) ([]byte, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, CheckpointName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < checkpointHeaderLen+4 {
+		return nil, fmt.Errorf("%w: checkpoint too short (%d bytes)", ErrCorrupt, len(raw))
+	}
+	if [4]byte(raw[:4]) != ckptMagic {
+		return nil, fmt.Errorf("%w: bad checkpoint magic", ErrCorrupt)
+	}
+	if raw[4] != checkpointVersion {
+		return nil, fmt.Errorf("wal: checkpoint version %d, this build reads %d", raw[4], checkpointVersion)
+	}
+	n := binary.LittleEndian.Uint32(raw[8:12])
+	if n > MaxCheckpoint || int64(len(raw)) != int64(checkpointHeaderLen)+int64(n)+4 {
+		return nil, fmt.Errorf("%w: checkpoint length field %d does not match file size %d", ErrCorrupt, n, len(raw))
+	}
+	body := raw[:len(raw)-4]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(raw[len(raw)-4:]) {
+		return nil, fmt.Errorf("%w: checkpoint crc mismatch", ErrCorrupt)
+	}
+	return body[checkpointHeaderLen:], nil
+}

@@ -1,0 +1,465 @@
+// Package wal implements the durable, crash-safe persistence layer of
+// the DKF server: an append-only, segmented write-ahead log plus an
+// atomically-replaced checkpoint file.
+//
+// The paper's procedure-caching architecture makes the server's cached
+// artifact a live Kalman filter that must stay byte-identical to the
+// source's mirror (KFs ≡ KFm). A crash therefore cannot be repaired by
+// re-reading a table — the filter trajectory itself must be recovered.
+// The update stream is the minimal sufficient statistic for that
+// trajectory (the same insight internal/synopsis exploits in memory), so
+// the log records *updates*, not readings: durability costs bytes per
+// transmitted update, and suppressed readings are free (they reappear at
+// replay as the same sequence gaps the live server saw).
+//
+// Records reuse the internal/dsms/wire encoding (u32 LE length, u8 tag,
+// payload) with a trailing CRC32C, so the server's ingest path logs the
+// exact payload bytes it received from the network without re-encoding,
+// and the append hot path allocates nothing. Recovery = read checkpoint
+// (if any) + replay remaining segments, tolerating a torn record at the
+// tail of the last segment only.
+//
+// The log itself is payload-agnostic: record tags and their layouts
+// belong to the caller (internal/dsms defines the server's).
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are forced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged update is a
+	// durable update. Highest latency, zero loss window.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval buffers appends and fsyncs on a timer (Options.
+	// SyncEvery): bounded loss window, near-zero append overhead.
+	SyncInterval
+	// SyncOff never fsyncs except at rotation, checkpoint and Close:
+	// durability only at those barriers. For benchmarks and tests.
+	SyncOff
+)
+
+// String names the policy as accepted by ParseSyncPolicy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("syncpolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses the -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or off)", s)
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this many
+	// bytes. <= 0 selects 64 MiB.
+	SegmentBytes int64
+	// Sync is the fsync policy; the zero value is SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval flush period. <= 0 selects 50ms.
+	SyncEvery time.Duration
+	// Ins receives append/fsync/segment telemetry; nil disables.
+	Ins *Instruments
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 50 * time.Millisecond
+	}
+	if o.Ins == nil {
+		o.Ins = &Instruments{}
+	}
+	return o
+}
+
+// Log is an append-only segmented write-ahead log in one directory.
+// Append/Sync/Rotate are safe for concurrent use; Replay is for the
+// recovery phase before appending begins.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File // active segment
+	w       *segmentWriter
+	seg     int   // active segment index
+	size    int64 // bytes in the active segment
+	scratch []byte
+	closed  bool
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// segmentWriter is a minimal buffered writer whose buffer the Log owns,
+// so append stays allocation-free and flush boundaries are explicit.
+type segmentWriter struct {
+	f   *os.File
+	buf []byte
+}
+
+func (w *segmentWriter) write(p []byte) error {
+	if len(w.buf)+len(p) > cap(w.buf) {
+		if err := w.flush(); err != nil {
+			return err
+		}
+	}
+	if len(p) > cap(w.buf) {
+		_, err := w.f.Write(p)
+		return err
+	}
+	w.buf = append(w.buf, p...)
+	return nil
+}
+
+func (w *segmentWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.f.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// Open opens (creating if necessary) the log in dir. If segments exist,
+// the tail segment is scanned and any torn final record is truncated
+// away before the log accepts new appends, so a crashed process's
+// partial write can never corrupt records appended after recovery.
+// Call Replay before the first Append to recover state.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, scratch: make([]byte, 0, 512)}
+
+	idxs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(idxs) == 0 {
+		if err := l.createSegment(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := idxs[len(idxs)-1]
+		path := filepath.Join(dir, segmentName(last))
+		validLen, err := scanSegment(path, true, nil)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if validLen < segmentHeaderLen {
+			// Crash between segment creation and header write: rebuild
+			// the header in place.
+			if err := f.Truncate(0); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if _, err := f.Write(segmentHeader()); err != nil {
+				f.Close()
+				return nil, err
+			}
+			validLen = segmentHeaderLen
+		} else if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(validLen, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.f = f
+		l.w = &segmentWriter{f: f, buf: make([]byte, 0, 1<<16)}
+		l.seg = last
+		l.size = validLen
+	}
+	l.opts.Ins.observeSegments(l.segmentCountLocked())
+
+	if opts.Sync == SyncInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// createSegment starts segment idx as the active segment. Caller holds
+// l.mu (or is Open, before the log is shared).
+func (l *Log) createSegment(idx int) error {
+	path := filepath.Join(l.dir, segmentName(idx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(segmentHeader()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	if l.w == nil {
+		l.w = &segmentWriter{f: f, buf: make([]byte, 0, 1<<16)}
+	} else {
+		l.w.f = f
+		l.w.buf = l.w.buf[:0]
+	}
+	l.seg = idx
+	l.size = segmentHeaderLen
+	return nil
+}
+
+// Append durably (per the sync policy) appends one record. The payload
+// is copied into the log's scratch buffer, so the caller may reuse it
+// immediately. Steady-state appends allocate nothing.
+func (l *Log) Append(tag byte, payload []byte) error {
+	if 1+len(payload) > MaxRecord {
+		return fmt.Errorf("wal: record payload of %d bytes exceeds %d", len(payload), MaxRecord-1)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	l.scratch = appendRecord(l.scratch[:0], tag, payload)
+	if err := l.w.write(l.scratch); err != nil {
+		return err
+	}
+	l.size += int64(len(l.scratch))
+	l.opts.Ins.observeAppend(len(l.scratch))
+	if l.opts.Sync == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+var errClosed = errors.New("wal: log is closed")
+
+// Sync flushes buffered appends and fsyncs the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.w.flush(); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.opts.Ins.observeFsync(time.Since(start))
+	return nil
+}
+
+// flushLoop is the SyncInterval background flusher.
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				// A failed background sync surfaces on the next
+				// foreground Sync/Close; the loop keeps trying.
+				_ = l.syncLocked()
+			}
+			l.mu.Unlock()
+		case <-l.flushStop:
+			return
+		}
+	}
+}
+
+// Rotate seals the active segment (flush + fsync + close) and starts a
+// fresh one, returning the new active segment's index. The checkpoint
+// procedure rotates first so every record that predates the snapshot
+// lives in a sealed segment that can be removed afterwards.
+func (l *Log) Rotate() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errClosed
+	}
+	if err := l.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return l.seg, nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	if err := l.createSegment(l.seg + 1); err != nil {
+		return err
+	}
+	l.opts.Ins.observeSegments(l.segmentCountLocked())
+	return nil
+}
+
+// RemoveSegmentsBefore deletes every sealed segment with index < idx —
+// the truncation step after a successful checkpoint. The active segment
+// is never removed. Returns how many segments were deleted.
+func (l *Log) RemoveSegmentsBefore(idx int) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errClosed
+	}
+	if idx > l.seg {
+		idx = l.seg
+	}
+	idxs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, i := range idxs {
+		if i >= idx {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segmentName(i))); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	l.opts.Ins.observeSegments(l.segmentCountLocked())
+	return removed, nil
+}
+
+// Replay reads every record in every segment in order, calling fn(tag,
+// payload) for each; the payload slice is only valid during the call.
+// A torn record at the tail of the last segment ends the replay cleanly
+// (Open has already truncated it from the file); corruption anywhere
+// else returns an error wrapping ErrCorrupt. Call before the first
+// Append.
+func (l *Log) Replay(fn func(tag byte, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	// Appends buffered before a replay would be invisible to the file
+	// reads below; recovery replays before streaming, so just flush.
+	if err := l.w.flush(); err != nil {
+		return err
+	}
+	idxs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, idx := range idxs {
+		path := filepath.Join(l.dir, segmentName(idx))
+		if _, err := scanSegment(path, idx == l.seg, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SegmentCount returns how many segment files the log currently holds.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segmentCountLocked()
+}
+
+func (l *Log) segmentCountLocked() int {
+	idxs, err := listSegments(l.dir)
+	if err != nil {
+		return 0
+	}
+	return len(idxs)
+}
+
+// ActiveSegment returns the index of the segment currently appended to.
+func (l *Log) ActiveSegment() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seg
+}
+
+// Dir returns the log's data directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close flushes, fsyncs and closes the log. Records appended before a
+// clean Close are durable under every sync policy.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	stop := l.flushStop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.flushDone
+	}
+	return err
+}
