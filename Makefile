@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-net bench-wal fuzz check baseline profile-cpu profile-heap
+.PHONY: build test race vet bench bench-net bench-wal bench-trace fuzz check baseline profile-cpu profile-heap
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ bench-net:
 bench-wal:
 	$(GO) test -run '^$$' -bench 'BenchmarkWALAppend' -benchmem -count 3 ./internal/wal/
 	$(GO) test -run '^$$' -bench 'BenchmarkTCPIngestDurable' -benchmem -count 3 ./internal/dsms/
+
+# Flight-recorder cost: raw trace recording and the fully traced
+# loopback ingest path (see DESIGN.md §12).
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkTraceRecord' -benchmem -count 3 ./internal/trace/
+	$(GO) test -run '^$$' -bench 'BenchmarkTCPIngest/(single|traced)' -benchmem -count 3 ./internal/dsms/
 
 # Short fuzz pass over the wire frame decoders, WAL replay and
 # checkpoint reader (the corpora are regenerated, not committed).

@@ -10,8 +10,11 @@ import (
 	"os"
 	"testing"
 
+	"streamkf/internal/core"
 	"streamkf/internal/mat"
 	"streamkf/internal/model"
+	"streamkf/internal/stream"
+	"streamkf/internal/trace"
 )
 
 func filterStepBudgets(t *testing.T) map[string]int64 {
@@ -70,5 +73,58 @@ func TestFilterStepAllocBudget(t *testing.T) {
 		if got > budget {
 			t.Errorf("%s allocates %d/op, budget %d/op (BENCH_BASELINE.json)", tc.name, got, budget)
 		}
+	}
+}
+
+// sourceProcessAllocs measures the steady-state suppressed-path
+// allocation cost of SourceNode.Process, optionally with a flight
+// recorder attached.
+func sourceProcessAllocs(t *testing.T, traced bool) float64 {
+	t.Helper()
+	node, err := core.NewSourceNode(core.Config{
+		SourceID: "s1",
+		Model:    model.Linear(1, 1, 0.05, 0.05),
+		Delta:    1e9, // everything after bootstrap is suppressed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced {
+		node.SetTrace(trace.New(trace.Options{}))
+	}
+	r := stream.Reading{Values: []float64{1}}
+	seq := 0
+	offer := func() {
+		r.Seq = seq
+		r.Time = float64(seq)
+		r.Values[0] = float64(seq)
+		seq++
+		u, _, err := node.Process(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u != nil && seq > 1 {
+			t.Fatalf("reading %d transmitted under δ=1e9", seq-1)
+		}
+	}
+	// Bootstrap plus warm-up so lazy one-time allocations do not count.
+	for i := 0; i < 5; i++ {
+		offer()
+	}
+	return testing.AllocsPerRun(200, offer)
+}
+
+// TestSourceProcessTraceAllocBudget pins the tracing zero-cost
+// contract at the source. The suppressed path's only allocation is the
+// VecSlice copy of the returned estimate (pre-tracing baseline);
+// attaching a recorder — which logs predict and decision events for
+// every suppressed reading — must not add a single allocation on top.
+func TestSourceProcessTraceAllocBudget(t *testing.T) {
+	base := sourceProcessAllocs(t, false)
+	if base > 1 {
+		t.Errorf("untraced suppressed Process allocates %v/op, want <= 1 (estimate copy)", base)
+	}
+	if got := sourceProcessAllocs(t, true); got != base {
+		t.Errorf("traced suppressed Process allocates %v/op, untraced %v/op — tracing must be free", got, base)
 	}
 }

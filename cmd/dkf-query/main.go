@@ -5,12 +5,21 @@
 //
 //	dkf-query -server 127.0.0.1:7474 -query q1 -seq 3999
 //	dkf-query -server 127.0.0.1:7474 -query q1 -watch 1s   # poll forever
+//
+// With -trace N (and the server's admin address in -admin) each answer
+// is followed by the decision trail that produced it: the stream's
+// divergence audit and the last N flight-recorder events, fetched from
+// /tracez/stream/{query}. The server must run -trace.
+//
+//	dkf-query -server 127.0.0.1:7474 -admin 127.0.0.1:7475 -query q1 -seq 3999 -trace 8
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -27,6 +36,8 @@ func main() {
 		seq      = flag.Int("seq", 0, "reading index to evaluate at")
 		watch    = flag.Duration("watch", 0, "poll interval (0 = ask once)")
 		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		admin    = flag.String("admin", "127.0.0.1:7475", "dkf-server admin HTTP address (for -trace)")
+		traceN   = flag.Int("trace", 0, "print the last N decision-trail events behind each answer (0 = off)")
 	)
 	flag.Parse()
 
@@ -67,6 +78,11 @@ func main() {
 				continue
 			}
 			fmt.Printf("%-16s seq=%-8d %v\n", id, at, vals)
+			if *traceN > 0 {
+				if err := printTrail(*admin, id, *traceN); err != nil {
+					logger.Warn("trace fetch failed", "query", id, "err", err)
+				}
+			}
 		}
 	}
 
@@ -80,4 +96,50 @@ func main() {
 		time.Sleep(*watch)
 		at++
 	}
+}
+
+// printTrail fetches the decision trail backing a query's answers from
+// the admin endpoint and prints the divergence audit plus the last n
+// flight-recorder events.
+func printTrail(admin, queryID string, n int) error {
+	resp, err := http.Get("http://" + admin + "/tracez/stream/" + queryID)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /tracez/stream/%s: %s", queryID, resp.Status)
+	}
+	var st dsms.StreamTrace
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	if !st.Enabled {
+		return errors.New("tracing is disabled on the server (run dkf-server -trace)")
+	}
+	a := st.Audit
+	fmt.Printf("  audit: source=%s applies=%d max|innov|=%.4g at seq %d (%.2fx δ) under-δ sends=%d\n",
+		st.SourceID, a.Applies, a.MaxAbsInnovation, a.MaxSeq, a.MaxOverDelta, a.UnderDeltaSends)
+	events := st.Events
+	if len(events) > n {
+		events = events[len(events)-n:]
+	}
+	for _, e := range events {
+		line := fmt.Sprintf("  trace=%d seq=%d %s", e.TraceID, e.Seq, e.Kind)
+		if e.Decision != "" {
+			line += " " + e.Decision
+		}
+		if e.Kind == "decision" {
+			line += fmt.Sprintf(" raw=%.4g smoothed=%.4g pred=%.4g residual=%.4g δ=%.4g", e.Raw, e.Value, e.Pred, e.Residual, e.Delta)
+			if e.NIS != 0 {
+				line += fmt.Sprintf(" nis=%.4g", e.NIS)
+			}
+		} else if e.Kind == "apply" {
+			line += fmt.Sprintf(" value=%.4g |innov|=%.4g", e.Value, e.Residual)
+		} else if e.Aux != 0 {
+			line += fmt.Sprintf(" bytes=%d", e.Aux)
+		}
+		fmt.Println(line)
+	}
+	return nil
 }

@@ -3,7 +3,7 @@
 // agents (see cmd/dkf-source) and answers query clients. A second HTTP
 // listener (-admin) exposes the observability surface: /metrics
 // (Prometheus text), /healthz, /streamz (per-stream JSON incl. filter
-// health), and /debug/pprof.
+// health), /tracez (with -trace), and /debug/pprof.
 //
 // Usage:
 //
@@ -20,6 +20,11 @@
 // restart with the same -data-dir recovers the exact filter state and
 // reconnecting sources resume without re-bootstrapping. -fsync picks
 // the durability/latency trade-off (always | interval | off).
+//
+// With -trace every stream gets a flight recorder: per-update decision
+// trails and the divergence audit become queryable at /tracez and
+// /tracez/stream/{id}, and tracing sources (dkf-source -trace) ship
+// their suppression evidence alongside each update.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"streamkf/internal/dsms"
 	"streamkf/internal/stream"
 	"streamkf/internal/telemetry"
+	"streamkf/internal/trace"
 	"streamkf/internal/wal"
 )
 
@@ -85,6 +91,9 @@ func main() {
 		fsync      = flag.String("fsync", "interval", "WAL fsync policy: always|interval|off")
 		fsyncEvery = flag.Duration("fsync-interval", 0, "flush period for -fsync interval (0 = 50ms default)")
 		ckptEvery  = flag.Int("checkpoint-every", 10000, "checkpoint after this many logged updates (0 disables automatic checkpoints)")
+		traceOn    = flag.Bool("trace", false, "record per-update decision trails, served at /tracez")
+		traceRing  = flag.Int("trace-ring", 0, "flight-recorder ring size per stream (0 = 256 default)")
+		traceSamp  = flag.Int("trace-sample", 0, "record the routine trail for 1-in-N updates (0/1 = all; decisions are always kept)")
 		queries    queryFlags
 		statements stringsFlag
 	)
@@ -124,6 +133,10 @@ func main() {
 		logger.Info("durable server open", "data_dir", *dataDir, "fsync", policy.String())
 	} else {
 		server = dsms.NewServer(catalog)
+	}
+	if *traceOn {
+		server.EnableTracing(trace.Options{RingSize: *traceRing, Sample: *traceSamp})
+		logger.Info("tracing enabled", "ring", *traceRing, "sample", *traceSamp)
 	}
 	for _, q := range queries {
 		if server.HasQuery(q.ID) {

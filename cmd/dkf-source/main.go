@@ -7,6 +7,11 @@
 //
 //	dkf-source -server 127.0.0.1:7474 -source sensor-a -dataset movingobject -rate 100ms
 //	dkf-source -server 127.0.0.1:7474 -source sensor-b -csv readings.csv
+//
+// With -trace the agent keeps a local flight recorder of every
+// suppression decision and — when the server also runs -trace — ships
+// the decision evidence ahead of each update so the server's /tracez
+// can show the full causal chain.
 package main
 
 import (
@@ -23,16 +28,19 @@ import (
 
 func main() {
 	var (
-		server   = flag.String("server", "127.0.0.1:7474", "dkf-server address")
-		source   = flag.String("source", "", "source object id (must match a registered query)")
-		dataset  = flag.String("dataset", "", "movingobject | powerload | httptraffic")
-		csvPath  = flag.String("csv", "", "stream readings from this CSV instead of a generator")
-		rate     = flag.Duration("rate", 0, "inter-reading delay (0 = as fast as possible)")
-		dt       = flag.Float64("dt", 1.0, "sampling interval assumed by the model catalog")
-		seed     = flag.Int64("seed", 0, "generator seed override")
-		n        = flag.Int("n", 0, "generator length override")
-		window   = flag.Int("window", dsms.DefaultWindow, "max unacked updates in flight (1 = synchronous ack per update)")
-		logLevel = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		server    = flag.String("server", "127.0.0.1:7474", "dkf-server address")
+		source    = flag.String("source", "", "source object id (must match a registered query)")
+		dataset   = flag.String("dataset", "", "movingobject | powerload | httptraffic")
+		csvPath   = flag.String("csv", "", "stream readings from this CSV instead of a generator")
+		rate      = flag.Duration("rate", 0, "inter-reading delay (0 = as fast as possible)")
+		dt        = flag.Float64("dt", 1.0, "sampling interval assumed by the model catalog")
+		seed      = flag.Int64("seed", 0, "generator seed override")
+		n         = flag.Int("n", 0, "generator length override")
+		window    = flag.Int("window", dsms.DefaultWindow, "max unacked updates in flight (1 = synchronous ack per update)")
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		traceOn   = flag.Bool("trace", false, "record decision trails locally and offer them to the server")
+		traceRing = flag.Int("trace-ring", 0, "flight-recorder ring size (0 = 256 default)")
+		traceSamp = flag.Int("trace-sample", 0, "record the routine trail for 1-in-N readings (0/1 = all; decisions are always kept)")
 	)
 	flag.Parse()
 
@@ -53,13 +61,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	agent, err := dsms.DialSourceOptions(*server, *source, dsms.DefaultCatalog(*dt), dsms.DialOptions{Window: *window})
+	agent, err := dsms.DialSourceOptions(*server, *source, dsms.DefaultCatalog(*dt), dsms.DialOptions{
+		Window:      *window,
+		Trace:       *traceOn,
+		TraceRing:   *traceRing,
+		TraceSample: *traceSamp,
+	})
 	if err != nil {
 		logger.Error("dial failed", "server", *server, "err", err)
 		os.Exit(1)
 	}
 	defer agent.Close()
 	logger.Info("connected", "source", *source, "server", *server, "readings", len(data), "window", *window)
+	if *traceOn {
+		logger.Info("tracing enabled", "wire_frames", agent.TraceNegotiated())
+	}
 
 	start := time.Now()
 	for _, r := range data {
@@ -83,6 +99,39 @@ func main() {
 		"readings", st.Readings, "updates", st.Updates,
 		"sent_pct", fmt.Sprintf("%.2f", 100*float64(st.Updates)/float64(st.Readings)),
 		"suppressed", st.Suppressed, "bytes", st.BytesSent)
+	if *traceOn {
+		printTrail(agent, 8)
+	}
+}
+
+// printTrail dumps the tail of the local flight recorder to stderr.
+// Suppression decisions never cross the wire — the suppressed half of
+// the trail exists only here, at the source.
+func printTrail(agent *dsms.RemoteAgent, n int) {
+	events := agent.Tracer().Events()
+	if len(events) > n {
+		events = events[len(events)-n:]
+	}
+	fmt.Fprintf(os.Stderr, "decision trail (last %d events):\n", len(events))
+	for _, ev := range events {
+		e := ev.View()
+		line := fmt.Sprintf("  trace=%d seq=%d %s", e.TraceID, e.Seq, e.Kind)
+		if e.Decision != "" {
+			line += " " + e.Decision
+		}
+		switch e.Kind {
+		case "smooth":
+			line += fmt.Sprintf(" raw=%.4g smoothed=%.4g", e.Raw, e.Value)
+		case "predict", "decision":
+			line += fmt.Sprintf(" value=%.4g pred=%.4g residual=%.4g δ=%.4g", e.Value, e.Pred, e.Residual, e.Delta)
+			if e.NIS != 0 {
+				line += fmt.Sprintf(" nis=%.4g", e.NIS)
+			}
+		case "wire_tx":
+			line += fmt.Sprintf(" bytes=%d", e.Aux)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 }
 
 func loadData(dataset, csvPath string, n int, seed int64) ([]stream.Reading, error) {

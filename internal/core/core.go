@@ -27,6 +27,7 @@ import (
 	"streamkf/internal/mat"
 	"streamkf/internal/model"
 	"streamkf/internal/stream"
+	"streamkf/internal/trace"
 )
 
 // Update is the wire message a source sends to the server when the
@@ -133,6 +134,15 @@ type SourceNode struct {
 	smoothBuf  []float64
 	smoothZ    *mat.Matrix // 1 x 1 measurement for the KFc bank
 	smoothPred *mat.Matrix // 1 x 1 prediction from the KFc bank
+
+	// Flight recorder (nil when tracing is off: every recording site is
+	// one branch), the per-reading trace id counter, and the evidence of
+	// the latest suppression decision. lastDec is maintained even with
+	// tracing off — a handful of scalar stores — so transports can ship
+	// it the moment tracing is enabled.
+	tr       *trace.Recorder
+	traceSeq int64
+	lastDec  trace.DecisionInfo
 }
 
 // SourceStats counts source-side protocol events.
@@ -207,6 +217,19 @@ func (s *SourceNode) smoothedEstimate() []float64 {
 	return out
 }
 
+// SetTrace attaches a flight recorder to the node. A nil recorder (the
+// default) disables tracing; every recording site is then one branch.
+func (s *SourceNode) SetTrace(tr *trace.Recorder) { s.tr = tr }
+
+// Tracer returns the attached flight recorder, nil when tracing is off.
+func (s *SourceNode) Tracer() *trace.Recorder { return s.tr }
+
+// LastDecision returns the evidence of the most recent Process
+// decision: what was measured, what the mirror predicted, the residual
+// against δ, and the outcome. Transports ship it next to the update it
+// explains (wire.TagTrace).
+func (s *SourceNode) LastDecision() trace.DecisionInfo { return s.lastDec }
+
 // Process handles one sensor reading. It returns a non-nil Update when
 // the reading must be transmitted to the server, and the value the server
 // will be answering queries with after this step (the mirrored server
@@ -216,9 +239,20 @@ func (s *SourceNode) Process(r stream.Reading) (*Update, []float64, error) {
 		return nil, nil, fmt.Errorf("core: reading has %d values, model %s wants %d", len(r.Values), s.cfg.Model.Name, s.cfg.Model.MeasDim)
 	}
 	s.stats.Readings++
+	s.traceSeq++
+	traceID := s.traceSeq
+	seq := int64(r.Seq)
+	raw := r.Values[0]
 	v, err := s.smooth(r.Values)
 	if err != nil {
 		return nil, nil, err
+	}
+	// Sampling gates only the routine per-reading trail (smooth,
+	// predict, suppress); sends, bootstraps and outlier rejections are
+	// always recorded — they are the rare, interesting events.
+	sampled := s.tr.Sampled(seq)
+	if sampled && s.cfg.F > 0 {
+		s.tr.Record(&trace.Event{TraceID: traceID, Seq: seq, Kind: trace.KindSmooth, Raw: raw, Value: v[0]})
 	}
 	if s.mirror == nil {
 		// Bootstrap: first measurement initializes both filters.
@@ -230,28 +264,52 @@ func (s *SourceNode) Process(r stream.Reading) (*Update, []float64, error) {
 		u := &Update{SourceID: s.cfg.SourceID, Seq: r.Seq, Time: r.Time, Values: clone(v), Bootstrap: true}
 		s.stats.Updates++
 		s.stats.BytesSent += u.WireBytes()
+		s.lastDec = trace.DecisionInfo{TraceID: traceID, Seq: seq, Decision: trace.DecisionBootstrap, Raw: raw, Smoothed: v[0], Delta: s.cfg.Delta}
+		if s.tr != nil {
+			s.tr.Record(&trace.Event{TraceID: traceID, Seq: seq, Kind: trace.KindDecision, Dec: trace.DecisionBootstrap, Raw: raw, Value: v[0], Delta: s.cfg.Delta})
+		}
 		return u, s.mirror.PredictedMeasurementInto(s.predBuf).VecSlice(), nil
 	}
 
 	s.mirror.Predict()
 	pred := s.mirror.PredictedMeasurementInto(s.predBuf).VecSlice()
+	// The max-abs residual both decides suppression (residual <= δ is
+	// exactly stream.WithinPrecision) and is the numeric evidence the
+	// trace records.
+	residual := maxAbsResidual(pred, v)
 
-	if stream.WithinPrecision(pred, v, s.cfg.Delta) {
+	if residual <= s.cfg.Delta {
 		// The server's prediction is good enough: suppress.
 		s.stats.Suppressed++
 		s.outliers = 0
+		s.lastDec = trace.DecisionInfo{TraceID: traceID, Seq: seq, Decision: trace.DecisionSuppress, Raw: raw, Smoothed: v[0], Pred: pred[0], Residual: residual, Delta: s.cfg.Delta}
+		if sampled {
+			s.tr.Record(&trace.Event{TraceID: traceID, Seq: seq, Kind: trace.KindPredict, Raw: raw, Value: v[0], Pred: pred[0], Residual: residual, Delta: s.cfg.Delta})
+			s.tr.Record(&trace.Event{TraceID: traceID, Seq: seq, Kind: trace.KindDecision, Dec: trace.DecisionSuppress, Raw: raw, Value: v[0], Pred: pred[0], Residual: residual, Delta: s.cfg.Delta})
+		}
 		return nil, pred, nil
+	}
+	if sampled {
+		s.tr.Record(&trace.Event{TraceID: traceID, Seq: seq, Kind: trace.KindPredict, Raw: raw, Value: v[0], Pred: pred[0], Residual: residual, Delta: s.cfg.Delta})
 	}
 
 	z := vecInto(s.zbuf, v)
+	var lastNIS float64
 	if s.cfg.OutlierNIS > 0 && s.outliers < s.cfg.MaxConsecutiveOutliers {
 		nis, err := s.mirror.NIS(z)
-		if err == nil && nis > s.cfg.OutlierNIS {
-			// Glitch: reject without transmitting. The mirror keeps its
-			// prediction, exactly as the server will, so synchrony holds.
-			s.outliers++
-			s.stats.OutliersRejected++
-			return nil, pred, nil
+		if err == nil {
+			lastNIS = nis
+			if nis > s.cfg.OutlierNIS {
+				// Glitch: reject without transmitting. The mirror keeps its
+				// prediction, exactly as the server will, so synchrony holds.
+				s.outliers++
+				s.stats.OutliersRejected++
+				s.lastDec = trace.DecisionInfo{TraceID: traceID, Seq: seq, Decision: trace.DecisionOutlier, Raw: raw, Smoothed: v[0], Pred: pred[0], Residual: residual, Delta: s.cfg.Delta, NIS: nis}
+				if s.tr != nil {
+					s.tr.Record(&trace.Event{TraceID: traceID, Seq: seq, Kind: trace.KindDecision, Dec: trace.DecisionOutlier, Raw: raw, Value: v[0], Pred: pred[0], Residual: residual, Delta: s.cfg.Delta, NIS: nis})
+				}
+				return nil, pred, nil
+			}
 		}
 	}
 	s.outliers = 0
@@ -262,7 +320,29 @@ func (s *SourceNode) Process(r stream.Reading) (*Update, []float64, error) {
 	u := &Update{SourceID: s.cfg.SourceID, Seq: r.Seq, Time: r.Time, Values: clone(v)}
 	s.stats.Updates++
 	s.stats.BytesSent += u.WireBytes()
+	s.lastDec = trace.DecisionInfo{TraceID: traceID, Seq: seq, Decision: trace.DecisionSend, Raw: raw, Smoothed: v[0], Pred: pred[0], Residual: residual, Delta: s.cfg.Delta, NIS: lastNIS}
+	if s.tr != nil {
+		s.tr.Record(&trace.Event{TraceID: traceID, Seq: seq, Kind: trace.KindDecision, Dec: trace.DecisionSend, Raw: raw, Value: v[0], Pred: pred[0], Residual: residual, Delta: s.cfg.Delta, NIS: lastNIS})
+	}
 	return u, s.mirror.PredictedMeasurementInto(s.predBuf).VecSlice(), nil
+}
+
+// maxAbsResidual returns max_i |pred[i] - v[i]| — the residual the
+// suppression decision compares against δ. Comparing it to delta with
+// <= is equivalent to stream.WithinPrecision (NaN components never
+// raise the max, matching WithinPrecision's NaN behavior).
+func maxAbsResidual(pred, v []float64) float64 {
+	var m float64
+	for i := range pred {
+		d := pred[i] - v[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
 }
 
 // Stats returns the source-side counters.
@@ -297,6 +377,12 @@ type ServerNode struct {
 	lastNIS  float64
 	nisValid bool
 	health   *kalman.NoiseEstimator
+
+	// Divergence tap: the max-abs innovation |z - H x̂⁻| of the latest
+	// non-bootstrap update against the pre-correction prediction — the
+	// same units as δ, so the trace audit can compare them directly.
+	lastInnov  float64
+	innovValid bool
 }
 
 // healthWindow is the number of recent innovations the per-stream
@@ -369,6 +455,7 @@ func (s *ServerNode) ApplyUpdate(u Update) error {
 		if s.filter != nil {
 			// Re-bootstrap: discard diagnostics from the previous session.
 			s.lastNIS, s.nisValid = 0, false
+			s.lastInnov, s.innovValid = 0, false
 			s.health.RestoreWindow(nil)
 		}
 		s.filter = f
@@ -388,6 +475,22 @@ func (s *ServerNode) ApplyUpdate(u Update) error {
 	z := s.zbuf
 	if len(u.Values) == z.Rows() {
 		vecInto(z, u.Values)
+		// Divergence tap: distance between the pre-correction prediction
+		// and the transmitted measurement, in measurement units. One H x
+		// into the reusable buffer per transmitted update — allocation
+		// free, and transmitted updates are the rare case by design.
+		pm := s.filter.PredictedMeasurementInto(s.predBuf)
+		var innov float64
+		for i := range u.Values {
+			d := u.Values[i] - pm.At(i, 0)
+			if d < 0 {
+				d = -d
+			}
+			if d > innov {
+				innov = d
+			}
+		}
+		s.lastInnov, s.innovValid = innov, true
 	} else {
 		// Malformed update: hand the filter a fresh vector so it reports
 		// the dimension error itself, as it always has.
@@ -442,6 +545,13 @@ type FilterHealth struct {
 	// signature.
 	Healthy bool
 }
+
+// LastInnovation returns the max-abs innovation of the latest
+// non-bootstrap update against the pre-correction prediction, and
+// whether one has been observed. It shares units with δ: a value above
+// δ is the expected signature of a transmitted update (the mirror's
+// prediction missed), a value at or below δ is broken-mirror evidence.
+func (s *ServerNode) LastInnovation() (float64, bool) { return s.lastInnov, s.innovValid }
 
 // Health returns the stream's current filter-health diagnostics. It is
 // allocation-free and safe to call on every ingest.

@@ -6,18 +6,23 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"streamkf/internal/telemetry"
+	"streamkf/internal/trace"
 )
 
 // AdminServer is the observability endpoint of a DSMS server: a small
 // HTTP listener, separate from the wire-protocol port, serving
 //
-//	/metrics        Prometheus text exposition of the telemetry registry
-//	/healthz        liveness probe ("ok")
-//	/streamz        JSON per-stream snapshot (model, δ, suppression %, NIS, health)
-//	/debug/pprof/*  the standard Go profiling endpoints
+//	/metrics            Prometheus text exposition of the telemetry registry
+//	/healthz            liveness probe ("ok")
+//	/streamz            JSON status: latency summaries, WAL state, per-stream records
+//	/tracez             recent trace events across streams (?source=&kind=&decision=&limit=)
+//	/tracez/stream/{id} one stream's decision trail and divergence audit
+//	/debug/pprof/*      the standard Go profiling endpoints
 //
 // Scrapes never stop the data path: every handler reads live atomics or
 // takes only the same short per-source locks queries do.
@@ -35,14 +40,86 @@ func MetricsHandler(reg *telemetry.Registry) http.HandlerFunc {
 	}
 }
 
-// StreamzHandler serves the per-stream Stats snapshot as a JSON array,
-// sorted by source id.
+// StreamzHandler serves the server status document: latency summaries,
+// durability state, and the per-stream Stats records sorted by source
+// id.
 func StreamzHandler(s *Server) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(s.Stats())
+		enc.Encode(s.Streamz())
+	}
+}
+
+// tracezResponse is the /tracez document.
+type tracezResponse struct {
+	Enabled bool         `json:"enabled"`
+	Count   int          `json:"count"`
+	Events  []TraceEntry `json:"events"`
+}
+
+// TracezHandler serves recent trace events, newest first. Query
+// parameters: source (stream id), kind (event kind name), decision
+// (decision name), limit (default 100).
+func TracezHandler(s *Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		limit := 100
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad limit: "+v, http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		var kind trace.Kind
+		if v := q.Get("kind"); v != "" {
+			k, err := trace.ParseKind(v)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			kind = k
+		}
+		var dec trace.Decision
+		if v := q.Get("decision"); v != "" {
+			d, err := trace.ParseDecision(v)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			dec = d
+		}
+		resp := tracezResponse{Enabled: s.TraceEnabled()}
+		resp.Events = s.TraceRecent(limit, q.Get("source"), kind, dec)
+		resp.Count = len(resp.Events)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	}
+}
+
+// TracezStreamHandler serves one stream's decision trail (by source id
+// or query id) with its divergence audit.
+func TracezStreamHandler(s *Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		id := strings.TrimPrefix(req.URL.Path, "/tracez/stream/")
+		if id == "" || strings.Contains(id, "/") {
+			http.Error(w, "usage: /tracez/stream/{source-or-query-id}", http.StatusBadRequest)
+			return
+		}
+		st, err := s.TraceStream(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
 	}
 }
 
@@ -60,6 +137,8 @@ func ServeAdmin(s *Server, addr string, logger *slog.Logger) (*AdminServer, erro
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/streamz", StreamzHandler(s))
+	mux.HandleFunc("/tracez", TracezHandler(s))
+	mux.HandleFunc("/tracez/stream/", TracezStreamHandler(s))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

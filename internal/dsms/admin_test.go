@@ -86,14 +86,17 @@ func TestAdminEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/streamz status %d", code)
 	}
-	var stats []Stats
-	if err := json.Unmarshal([]byte(body), &stats); err != nil {
-		t.Fatalf("/streamz is not a JSON Stats array: %v\n%s", err, body)
+	var z Streamz
+	if err := json.Unmarshal([]byte(body), &z); err != nil {
+		t.Fatalf("/streamz is not a JSON Streamz document: %v\n%s", err, body)
 	}
-	if len(stats) != 1 {
-		t.Fatalf("/streamz reported %d sources, want 1", len(stats))
+	if z.Durable || z.TraceEnabled || z.WAL != nil {
+		t.Fatalf("/streamz durability flags wrong for in-memory server: %+v", z)
 	}
-	st := stats[0]
+	if len(z.Streams) != 1 {
+		t.Fatalf("/streamz reported %d sources, want 1", len(z.Streams))
+	}
+	st := z.Streams[0]
 	if st.SourceID != "walk" || st.Model != "linear" || st.Delta != 0.05 {
 		t.Fatalf("/streamz identity fields wrong: %+v", st)
 	}
@@ -102,6 +105,90 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 	if !st.NISValid || !st.HealthReady {
 		t.Fatalf("/streamz health not populated after 300 readings: %+v", st)
+	}
+
+	// /tracez answers (empty) even with tracing off, so dashboards can
+	// always probe it.
+	code, body = adminGet(t, admin.Addr(), "/tracez")
+	if code != http.StatusOK {
+		t.Fatalf("/tracez status %d", code)
+	}
+	var tz struct {
+		Enabled bool `json:"enabled"`
+		Count   int  `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(body), &tz); err != nil {
+		t.Fatalf("/tracez is not JSON: %v\n%s", err, body)
+	}
+	if tz.Enabled || tz.Count != 0 {
+		t.Fatalf("/tracez with tracing off = %+v, want disabled and empty", tz)
+	}
+	if code, _ = adminGet(t, admin.Addr(), "/tracez?kind=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("/tracez?kind=bogus status %d, want 400", code)
+	}
+	if code, _ = adminGet(t, admin.Addr(), "/tracez/stream/nope"); code != http.StatusNotFound {
+		t.Fatalf("/tracez/stream/nope status %d, want 404", code)
+	}
+}
+
+// TestAdminDurableScrape opens a durable server and asserts the WAL
+// instruments surface on /metrics and the durability fields on
+// /streamz: wiring `wal.NewInstruments` into the server registry is
+// only real if a scrape can see it.
+func TestAdminDurableScrape(t *testing.T) {
+	s, err := Open(testCatalog(), t.TempDir(), DurabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustRegister(t, s, stream.Query{ID: "q1", SourceID: "walk", Delta: 0.05, Model: "linear"})
+	streamDirect(t, s, "walk", 200)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	admin, err := ServeAdmin(s, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	code, body := adminGet(t, admin.Addr(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE streamkf_wal_records_appended_total counter",
+		"# TYPE streamkf_wal_segments gauge",
+		"streamkf_wal_checkpoints_total 1",
+		"streamkf_wal_fsyncs_total",
+		"# TYPE streamkf_wal_fsync_duration_nanos histogram",
+		`dkf_server_updates_total{source="walk"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics on a durable server missing %q", want)
+		}
+	}
+
+	code, body = adminGet(t, admin.Addr(), "/streamz")
+	if code != http.StatusOK {
+		t.Fatalf("/streamz status %d", code)
+	}
+	var z Streamz
+	if err := json.Unmarshal([]byte(body), &z); err != nil {
+		t.Fatalf("/streamz: %v\n%s", err, body)
+	}
+	if !z.Durable {
+		t.Fatal("/streamz does not mark the server durable")
+	}
+	if z.WAL == nil {
+		t.Fatal("/streamz missing the wal section on a durable server")
+	}
+	if z.WAL.Segments < 1 || z.WAL.Checkpoints != 1 {
+		t.Fatalf("/streamz wal accounting wrong: %+v", z.WAL)
+	}
+	if z.WAL.CheckpointAgeSeconds < 0 {
+		t.Fatalf("checkpoint age unset after an explicit checkpoint: %+v", z.WAL)
 	}
 }
 
@@ -161,6 +248,21 @@ func TestAdminScrapeUnderLoad(t *testing.T) {
 	}
 	if want := fmt.Sprintf("dkf_agent_sends_total{source=\"walk\"} %d", st.Updates); !strings.Contains(body, want) {
 		t.Fatalf("final scrape missing %q (agent/server disagree)", want)
+	}
+
+	// The agent registered its instruments in the server's registry, so
+	// the status document carries an ack-RTT summary; a StepAll batch
+	// populates the server-side latency summary too.
+	s.StepAll(5000, 0)
+	z := s.Streamz()
+	if z.StepAll == nil || z.StepAll.Count == 0 || z.StepAll.P99Ns < z.StepAll.P50Ns {
+		t.Fatalf("stepall latency summary not populated: %+v", z.StepAll)
+	}
+	if len(z.Streams) != 1 || z.Streams[0].AckRTT == nil {
+		t.Fatalf("ack RTT summary missing from status document: %+v", z.Streams)
+	}
+	if rtt := z.Streams[0].AckRTT; rtt.Count != int64(st.Updates) || rtt.P50Ns <= 0 || rtt.P99Ns < rtt.P50Ns {
+		t.Fatalf("ack RTT summary inconsistent: %+v (want count %d)", rtt, st.Updates)
 	}
 }
 

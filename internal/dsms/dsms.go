@@ -19,12 +19,14 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"streamkf/internal/core"
 	"streamkf/internal/model"
 	"streamkf/internal/stream"
 	"streamkf/internal/synopsis"
 	"streamkf/internal/telemetry"
+	"streamkf/internal/trace"
 )
 
 // Catalog resolves model names to stream models. The server and its
@@ -110,6 +112,12 @@ type sourceState struct {
 	times   timeMap            // seq-to-time mapping from update timestamps
 	walBuf  []byte             // reusable WAL record encode buffer (durable servers)
 	ckptSeq int                // last update seq covered by a checkpoint (-1 before any)
+
+	// rec is the stream's flight recorder; nil unless tracing is
+	// enabled. lastTrace is the trace id of the latest applied update,
+	// linking query answers back to the update that shaped them.
+	rec       *trace.Recorder
+	lastTrace int64
 }
 
 // Server is the central DSMS node.
@@ -146,6 +154,10 @@ type Server struct {
 	// db is the durability layer (write-ahead log + checkpoints); nil
 	// on an in-memory server. See persist.go.
 	db *durability
+
+	// traceOpts, guarded by mu, is non-nil while per-stream tracing is
+	// on; new and existing sources get a flight recorder built from it.
+	traceOpts *trace.Options
 }
 
 // NewServer returns a server resolving models from catalog. Every
@@ -163,6 +175,32 @@ func NewServer(catalog *Catalog) *Server {
 // Telemetry returns the server's metric registry — what the admin
 // endpoint scrapes and tests assert against.
 func (s *Server) Telemetry() *telemetry.Registry { return s.tel.reg }
+
+// EnableTracing turns on the per-stream flight recorder: every source —
+// already registered or yet to come — gets a ring of recent trace
+// events and a divergence audit, served by the /tracez admin endpoints.
+// Recording is allocation-free, so tracing is safe to leave on in
+// production; the knob exists because the ring costs memory per stream.
+func (s *Server) EnableTracing(opts trace.Options) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := opts
+	s.traceOpts = &o
+	for _, st := range s.sources {
+		st.mu.Lock()
+		if st.rec == nil {
+			st.rec = trace.New(o)
+		}
+		st.mu.Unlock()
+	}
+}
+
+// TraceEnabled reports whether per-stream tracing is on.
+func (s *Server) TraceEnabled() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.traceOpts != nil
+}
 
 // lookupQuery resolves a query id to its owning source under the
 // topology read-lock.
@@ -200,6 +238,9 @@ func (s *Server) Register(q stream.Query) error {
 	st := s.sources[q.SourceID]
 	if st == nil {
 		st = &sourceState{id: q.SourceID, ins: s.tel.source(q.SourceID), lastSeq: -1, ckptSeq: -1}
+		if s.traceOpts != nil {
+			st.rec = trace.New(*s.traceOpts)
+		}
 		s.sources[q.SourceID] = st
 	}
 	st.mu.Lock()
@@ -271,6 +312,16 @@ func (s *Server) InstallFor(sourceID string) (core.Config, error) {
 // runtime lock is held while the filter steps, so updates from different
 // sources fold in concurrently.
 func (s *Server) HandleUpdate(u core.Update) error {
+	return s.HandleUpdateTraced(u, nil, 0)
+}
+
+// HandleUpdateTraced is HandleUpdate with trace context attached: wd is
+// the source's decision evidence (from a TagTrace frame; nil when the
+// peer sent none) and wireBytes is the received update frame size
+// (0 when the update did not arrive over the wire). With tracing off
+// both are recorded nowhere and the two entry points behave
+// identically.
+func (s *Server) HandleUpdateTraced(u core.Update, wd *trace.DecisionInfo, wireBytes int) error {
 	s.mu.RLock()
 	st := s.sources[u.SourceID]
 	s.mu.RUnlock()
@@ -303,7 +354,52 @@ func (s *Server) HandleUpdate(u core.Update) error {
 	st.ins.updates.Inc()
 	st.ins.bytes.Add(int64(u.WireBytes()))
 	st.ins.seq.SetInt(int64(st.node.Seq()))
-	st.ins.observeHealth(st.node.Health())
+	health := st.node.Health()
+	st.ins.observeHealth(health)
+	// Trace the apply under the same lock, after the filter stepped:
+	// the recorded evidence (innovation, NIS) is exactly what this
+	// update produced. st.cfg is written only before the source starts
+	// streaming, so reading Delta here needs no topology lock.
+	tid := int64(0)
+	if wd != nil {
+		tid = wd.TraceID
+	}
+	sampled := st.rec != nil && st.rec.Sampled(int64(u.Seq))
+	innov, innovOK := st.node.LastInnovation()
+	if sampled {
+		if wireBytes > 0 {
+			st.rec.Record(&trace.Event{TraceID: tid, Seq: int64(u.Seq), Kind: trace.KindWireRx, Aux: int64(wireBytes)})
+		}
+		if wd != nil {
+			st.rec.Record(&trace.Event{
+				TraceID: wd.TraceID, Seq: wd.Seq, Kind: trace.KindDecision, Dec: wd.Decision,
+				Raw: wd.Raw, Value: wd.Smoothed, Pred: wd.Pred,
+				Residual: wd.Residual, Delta: wd.Delta, NIS: wd.NIS,
+			})
+		}
+		ev := trace.Event{TraceID: tid, Seq: int64(u.Seq), Kind: trace.KindApply, Delta: st.cfg.Delta}
+		if len(u.Values) > 0 {
+			ev.Value = u.Values[0]
+		}
+		if u.Bootstrap {
+			ev.Dec = trace.DecisionBootstrap
+		} else if innovOK {
+			ev.Residual = innov
+			if health.NISValid {
+				ev.NIS = health.NIS
+			}
+		}
+		st.rec.Record(&ev)
+	}
+	if st.rec != nil {
+		st.lastTrace = tid
+		// The divergence audit sees every non-bootstrap apply, sampled
+		// or not: a transmitted update whose server-side innovation is
+		// within δ is mirror-desync evidence the audit must not miss.
+		if !u.Bootstrap && innovOK {
+			st.rec.Audit().Observe(int64(u.Seq), innov, st.cfg.Delta)
+		}
+	}
 	// Log after the apply, under the same lock, before the caller can
 	// ack: rejected updates never enter the log, and the per-source
 	// record order equals the apply order (see persist.go).
@@ -311,6 +407,9 @@ func (s *Server) HandleUpdate(u core.Update) error {
 		if err := s.db.appendUpdate(st, &u); err != nil {
 			st.mu.Unlock()
 			return fmt.Errorf("dsms: logging update %s/%d: %w", u.SourceID, u.Seq, err)
+		}
+		if sampled {
+			st.rec.Record(&trace.Event{TraceID: tid, Seq: int64(u.Seq), Kind: trace.KindWAL, Aux: int64(len(st.walBuf))})
 		}
 	}
 	st.mu.Unlock()
@@ -342,6 +441,15 @@ func (s *Server) Answer(queryID string, seq int) ([]float64, error) {
 	vals, ok := st.node.Estimate()
 	if !ok {
 		return nil, fmt.Errorf("dsms: source %s has no bootstrap yet", st.id)
+	}
+	if st.rec != nil {
+		// Close the causal chain: this answer was shaped by the stream's
+		// latest applied update, so it inherits that update's trace id.
+		ev := trace.Event{TraceID: st.lastTrace, Seq: int64(seq), Kind: trace.KindAnswer}
+		if len(vals) > 0 {
+			ev.Value = vals[0]
+		}
+		st.rec.Record(&ev)
 	}
 	return vals, nil
 }
@@ -442,6 +550,29 @@ type Stats struct {
 	// update sequence captured by a checkpoint (-1 before the first).
 	Durable       bool `json:"durable"`
 	CheckpointSeq int  `json:"checkpoint_seq,omitempty"`
+
+	// AckRTT summarizes the send-to-ack round trip for this source's
+	// agent. Present only when the agent registered its instruments in
+	// this server's registry (in-process transports); over TCP the
+	// agent's registry lives in the source process.
+	AckRTT *LatencySummary `json:"ack_rtt,omitempty"`
+}
+
+// LatencySummary is a compact quantile view of a latency histogram,
+// resolved to the histogram's power-of-two bucket bounds.
+type LatencySummary struct {
+	Count int64 `json:"count"`
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+}
+
+// summarize folds a histogram snapshot into a LatencySummary, or nil
+// when nothing was observed.
+func summarize(s telemetry.HistogramSnapshot) *LatencySummary {
+	if s.Count == 0 {
+		return nil
+	}
+	return &LatencySummary{Count: s.Count, P50Ns: s.Quantile(0.50), P99Ns: s.Quantile(0.99)}
 }
 
 // Stats returns per-source statistics, sorted by source id. The update
@@ -471,9 +602,143 @@ func (s *Server) Stats() []Stats {
 		if total := stat.Updates + stat.Suppressed; total > 0 {
 			stat.SuppressionPct = 100 * float64(stat.Suppressed) / float64(total)
 		}
+		if h, ok := s.tel.reg.HistogramFor("dkf_agent_ack_rtt_ns", telemetry.L("source", id)); ok {
+			stat.AckRTT = summarize(h.Snapshot())
+		}
 		out = append(out, stat)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].SourceID < out[j].SourceID })
+	return out
+}
+
+// WALStreamz is the durability block of the /streamz status document.
+type WALStreamz struct {
+	Segments             int64   `json:"segments"`
+	Checkpoints          int64   `json:"checkpoints"`
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds"` // -1 before the first checkpoint
+}
+
+// Streamz is the full /streamz status document: server-wide latency
+// summaries and durability state wrapped around the per-stream records.
+type Streamz struct {
+	Durable      bool            `json:"durable"`
+	TraceEnabled bool            `json:"trace_enabled"`
+	StepAll      *LatencySummary `json:"stepall_latency,omitempty"`
+	WAL          *WALStreamz     `json:"wal,omitempty"`
+	Streams      []Stats         `json:"streams"`
+}
+
+// Streamz assembles the status document the /streamz endpoint serves.
+func (s *Server) Streamz() Streamz {
+	z := Streamz{Durable: s.db != nil, TraceEnabled: s.TraceEnabled(), Streams: s.Stats()}
+	z.StepAll = summarize(s.tel.stepAllNs.Snapshot())
+	if s.db != nil {
+		w := WALStreamz{CheckpointAgeSeconds: -1}
+		if v, ok := s.tel.reg.Get("streamkf_wal_segments"); ok {
+			w.Segments = int64(v)
+		}
+		if v, ok := s.tel.reg.Get("streamkf_wal_checkpoints_total"); ok {
+			w.Checkpoints = int64(v)
+		}
+		if t := s.db.lastCkpt.Load(); t > 0 {
+			w.CheckpointAgeSeconds = time.Since(time.Unix(0, t)).Seconds()
+		}
+		z.WAL = &w
+	}
+	return z
+}
+
+// StreamTrace is one stream's decision trail: its divergence audit plus
+// the flight recorder's surviving events, oldest first — the
+// /tracez/stream/{id} document.
+type StreamTrace struct {
+	Enabled  bool                `json:"enabled"`
+	SourceID string              `json:"source_id"`
+	Model    string              `json:"model,omitempty"`
+	Delta    float64             `json:"delta,omitempty"`
+	Audit    trace.AuditSnapshot `json:"audit"`
+	Events   []trace.EventView   `json:"events"`
+}
+
+// TraceStream returns the decision trail for a source id or query id.
+func (s *Server) TraceStream(id string) (StreamTrace, error) {
+	s.mu.RLock()
+	st := s.sources[id]
+	if st == nil {
+		st = s.byQuery[id]
+	}
+	var out StreamTrace
+	if st != nil {
+		out = StreamTrace{SourceID: st.id, Model: st.cfg.Model.Name, Delta: st.cfg.Delta}
+	}
+	s.mu.RUnlock()
+	if st == nil {
+		return StreamTrace{}, fmt.Errorf("dsms: unknown stream or query %s", id)
+	}
+	st.mu.Lock()
+	rec := st.rec
+	st.mu.Unlock()
+	if rec == nil {
+		return out, nil
+	}
+	out.Enabled = true
+	out.Audit = rec.Audit().Snapshot()
+	evs := rec.Events()
+	out.Events = make([]trace.EventView, len(evs))
+	for i := range evs {
+		out.Events[i] = evs[i].View()
+	}
+	return out, nil
+}
+
+// TraceEntry is one trace event tagged with its stream — the /tracez
+// cross-stream listing element.
+type TraceEntry struct {
+	SourceID string `json:"source_id"`
+	trace.EventView
+}
+
+// TraceRecent returns up to limit recent trace events across all
+// streams, newest first. source narrows to one stream; a nonzero kind
+// or decision keeps only matching events.
+func (s *Server) TraceRecent(limit int, source string, kind trace.Kind, dec trace.Decision) []TraceEntry {
+	if limit <= 0 {
+		limit = 100
+	}
+	type streamRec struct {
+		id  string
+		rec *trace.Recorder
+	}
+	s.mu.RLock()
+	streams := make([]streamRec, 0, len(s.sources))
+	for id, st := range s.sources {
+		if source != "" && id != source {
+			continue
+		}
+		st.mu.Lock()
+		rec := st.rec
+		st.mu.Unlock()
+		if rec != nil {
+			streams = append(streams, streamRec{id: id, rec: rec})
+		}
+	}
+	s.mu.RUnlock()
+	var out []TraceEntry
+	for _, sr := range streams {
+		for _, ev := range sr.rec.Events() {
+			if kind != 0 && ev.Kind != kind {
+				continue
+			}
+			if dec != trace.DecisionNone && ev.Dec != dec {
+				continue
+			}
+			out = append(out, TraceEntry{SourceID: sr.id, EventView: ev.View()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AtUnixNs > out[j].AtUnixNs })
+	if len(out) > limit {
+		out = out[:limit]
+	}
 	return out
 }
 
@@ -504,6 +769,16 @@ func NewAgent(cfg core.Config, send core.Transport) (*Agent, error) {
 // Instrument attaches telemetry to the agent. Call before streaming;
 // a nil set (the default) records nothing.
 func (a *Agent) Instrument(ins *AgentInstruments) { a.ins = ins }
+
+// SetTrace attaches a flight recorder to the agent's source node. Call
+// before streaming; a nil recorder (the default) records nothing and
+// costs one nil check per reading.
+func (a *Agent) SetTrace(tr *trace.Recorder) { a.node.SetTrace(tr) }
+
+// LastDecision returns the evidence behind the node's most recent
+// send/suppress decision — what the TCP transport ships ahead of a
+// traced update frame.
+func (a *Agent) LastDecision() trace.DecisionInfo { return a.node.LastDecision() }
 
 // Offer processes one reading, transmitting if the protocol requires.
 // It returns whether an update was sent.

@@ -3,6 +3,8 @@ package dsms
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -82,6 +84,7 @@ type durability struct {
 	replaying bool
 
 	sinceCkpt atomic.Int64 // updates logged since the last checkpoint
+	lastCkpt  atomic.Int64 // wall-clock UnixNano of the last checkpoint (0 before any)
 	ckptMu    chanMutex    // serializes checkpoints without blocking ingest
 }
 
@@ -139,6 +142,12 @@ func Open(catalog *Catalog, dataDir string, opts DurabilityOptions) (*Server, er
 	if payload != nil {
 		if err := s.restoreCheckpoint(payload); err != nil {
 			return fail(fmt.Errorf("dsms: restoring checkpoint: %w", err))
+		}
+		// Seed the checkpoint age from the file's mtime so a freshly
+		// restarted server reports how stale its recovery point is, not
+		// "never checkpointed".
+		if fi, err := os.Stat(filepath.Join(dataDir, wal.CheckpointName)); err == nil {
+			s.db.lastCkpt.Store(fi.ModTime().UnixNano())
 		}
 	}
 	var u core.Update
@@ -304,6 +313,7 @@ func (s *Server) checkpointLocked() error {
 		return err
 	}
 	s.db.sinceCkpt.Store(0)
+	s.db.lastCkpt.Store(time.Now().UnixNano())
 	s.db.ins.ObserveCheckpoint(time.Since(start))
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"streamkf/internal/dsms/wire"
 	"streamkf/internal/stream"
 	"streamkf/internal/telemetry"
+	"streamkf/internal/trace"
 )
 
 // The TCP transport speaks the length-prefixed binary framing protocol
@@ -41,6 +42,20 @@ type DialOptions struct {
 	// labels. Recording is allocation-free, so enabling it does not
 	// disturb the pipelined send path's alloc budget.
 	Telemetry *telemetry.Registry
+	// Trace attaches a flight recorder to the agent's source node and —
+	// when the server advertises wire.FeatTrace — ships each send
+	// decision's evidence ahead of its update frame so the server can
+	// audit the suppression protocol end to end. Against a server
+	// without the feature bit the recorder still runs locally and
+	// nothing extra crosses the wire.
+	Trace bool
+	// TraceRing sizes the local flight recorder ring; 0 means
+	// trace.DefaultRingSize. Only meaningful with Trace.
+	TraceRing int
+	// TraceSample records detailed per-reading events for one reading
+	// in every TraceSample; <= 1 records all. Decisions that transmit
+	// are always recorded. Only meaningful with Trace.
+	TraceSample int
 }
 
 // ServerOptions tunes a TCPServer.
@@ -141,7 +156,13 @@ func (t *TCPServer) handle(conn net.Conn) {
 		w.Flush()
 		return
 	}
-	if w.WritePreamble(wire.Version) != nil {
+	// Advertise trace-frame acceptance only while tracing is on, so
+	// non-tracing servers never have to parse the optional tag.
+	var feats byte
+	if t.server.TraceEnabled() {
+		feats |= wire.FeatTrace
+	}
+	if w.WritePreambleFeatures(wire.Version, feats) != nil {
 		return
 	}
 	if err := wire.CheckVersion(ver); err != nil {
@@ -156,10 +177,13 @@ func (t *TCPServer) handle(conn net.Conn) {
 
 	// Per-connection decode state: the update struct and its Values
 	// slice are reused across frames, so the steady-state ingest path
-	// performs no allocations.
+	// performs no allocations. pend holds decision evidence from a
+	// trace frame until the update it describes arrives.
 	var u core.Update
 	var ackSeq int64
 	pendingAck := false
+	var pend trace.DecisionInfo
+	havePend := false
 
 	// flushAck writes the cumulative ack for everything folded so far.
 	flushAck := func() bool {
@@ -215,7 +239,14 @@ func (t *TCPServer) handle(conn net.Conn) {
 				w.Flush()
 				return
 			}
-			if err := t.server.HandleUpdate(u); err != nil {
+			var wd *trace.DecisionInfo
+			if havePend {
+				havePend = false
+				if pend.Seq == int64(u.Seq) {
+					wd = &pend
+				}
+			}
+			if err := t.server.HandleUpdateTraced(u, wd, len(p)+5); err != nil {
 				// Delivered asynchronously: the client fails its next
 				// Offer. Keep reading — the client decides when to hang up.
 				if w.Error(err.Error()) != nil || !flushAck() {
@@ -231,6 +262,17 @@ func (t *TCPServer) handle(conn net.Conn) {
 			if r.Buffered() == 0 && !flushAck() {
 				return
 			}
+		case wire.TagTrace:
+			d, err := wire.DecodeTrace(p)
+			if err != nil {
+				tel.countWireError(err)
+				w.Error(fmt.Sprintf("dsms: %v", err))
+				w.Flush()
+				return
+			}
+			// Not acked: the evidence travels with (and is confirmed by
+			// the ack of) the update frame that follows it.
+			pend, havePend = d, true
 		case wire.TagQuery:
 			qid, seq, err := r.DecodeQuery(p)
 			if err != nil {
@@ -298,6 +340,13 @@ type RemoteAgent struct {
 	err       error // sticky transport/server error
 	closing   bool  // suppresses the close-induced read error
 
+	// wireTrace is true when both sides opted into trace frames: the
+	// agent asked for tracing and the connected server advertised
+	// wire.FeatTrace. Re-evaluated on every (re)connect, so a tracing
+	// agent keeps interoperating with servers that lack the feature.
+	wireTrace bool
+	tracer    *trace.Recorder // local flight recorder; nil unless opts.Trace
+
 	ins *AgentInstruments // optional; set once at dial, nil-safe
 
 	readerDone chan struct{}
@@ -311,20 +360,21 @@ func DialSource(addr, sourceID string, catalog *Catalog) (*RemoteAgent, error) {
 }
 
 // dialHandshake dials addr and runs the preamble + hello → install
-// exchange, returning the connection, its framed writer/reader, and the
-// decoded install reply. On error the connection is already closed.
-func dialHandshake(addr, sourceID string, window int, opts DialOptions) (net.Conn, *wire.Writer, *wire.Reader, wire.Install, error) {
+// exchange, returning the connection, its framed writer/reader, the
+// decoded install reply, and the server's advertised feature bits. On
+// error the connection is already closed.
+func dialHandshake(addr, sourceID string, window int, opts DialOptions) (net.Conn, *wire.Writer, *wire.Reader, wire.Install, byte, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, nil, nil, wire.Install{}, fmt.Errorf("dsms: dial: %w", err)
+		return nil, nil, nil, wire.Install{}, 0, fmt.Errorf("dsms: dial: %w", err)
 	}
 	// Size the write buffer for a full window of small update frames so
 	// coalesced bursts reach the kernel in one write.
 	w := wire.NewWriter(conn, 64*window, opts.MaxFrame)
 	r := wire.NewReader(conn, 0, opts.MaxFrame)
-	fail := func(err error) (net.Conn, *wire.Writer, *wire.Reader, wire.Install, error) {
+	fail := func(err error) (net.Conn, *wire.Writer, *wire.Reader, wire.Install, byte, error) {
 		conn.Close()
-		return nil, nil, nil, wire.Install{}, err
+		return nil, nil, nil, wire.Install{}, 0, err
 	}
 	if err := w.WritePreamble(wire.Version); err != nil {
 		return fail(fmt.Errorf("dsms: send: %w", err))
@@ -335,7 +385,7 @@ func dialHandshake(addr, sourceID string, window int, opts DialOptions) (net.Con
 	if err := w.Flush(); err != nil {
 		return fail(fmt.Errorf("dsms: send: %w", err))
 	}
-	ver, err := r.ReadPreamble()
+	ver, feats, err := r.ReadPreambleFeatures()
 	if err != nil {
 		return fail(fmt.Errorf("dsms: handshake: %w", err))
 	}
@@ -357,7 +407,7 @@ func dialHandshake(addr, sourceID string, window int, opts DialOptions) (net.Con
 	if err != nil {
 		return fail(fmt.Errorf("dsms: handshake: %w", err))
 	}
-	return conn, w, r, inst, nil
+	return conn, w, r, inst, feats, nil
 }
 
 // DialSourceOptions is DialSource with an explicit ack window.
@@ -366,7 +416,7 @@ func DialSourceOptions(addr, sourceID string, catalog *Catalog, opts DialOptions
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	conn, w, r, inst, err := dialHandshake(addr, sourceID, window, opts)
+	conn, w, r, inst, feats, err := dialHandshake(addr, sourceID, window, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -396,6 +446,11 @@ func DialSourceOptions(addr, sourceID string, catalog *Catalog, opts DialOptions
 	if opts.Telemetry != nil {
 		ra.ins = NewAgentInstruments(opts.Telemetry, sourceID)
 		agent.Instrument(ra.ins)
+	}
+	if opts.Trace {
+		ra.tracer = trace.New(trace.Options{RingSize: opts.TraceRing, Sample: opts.TraceSample})
+		agent.SetTrace(ra.tracer)
+		ra.wireTrace = feats&wire.FeatTrace != 0
 	}
 	ra.agent = agent
 	go ra.readLoop(r)
@@ -509,10 +564,28 @@ func (r *RemoteAgent) sendUpdate(u core.Update) error {
 		r.pending = append(r.pending, u)
 		return r.err
 	}
+	if r.wireTrace {
+		// Ship the decision evidence ahead of its update so the server
+		// can attach it to the apply. LastDecision is the node's verdict
+		// on the reading that produced this very send, so the sequence
+		// numbers agree; a resent update (whose decision is long gone)
+		// simply travels untraced.
+		if d := r.agent.LastDecision(); d.Seq == int64(u.Seq) {
+			if err := r.w.Trace(&d); err != nil {
+				r.err = fmt.Errorf("dsms: send: %w", err)
+				r.pending = append(r.pending, u)
+				return r.err
+			}
+		}
+	}
 	if err := r.w.Update(&u); err != nil {
 		r.err = fmt.Errorf("dsms: send: %w", err)
 		r.pending = append(r.pending, u)
 		return r.err
+	}
+	if r.tracer != nil {
+		d := r.agent.LastDecision()
+		r.tracer.Record(&trace.Event{TraceID: d.TraceID, Seq: int64(u.Seq), Kind: trace.KindWireTx, Aux: int64(u.WireBytes())})
 	}
 	r.outstanding = append(r.outstanding, int64(u.Seq))
 	r.pending = append(r.pending, u)
@@ -588,6 +661,19 @@ func (r *RemoteAgent) Drain() error {
 // Stats exposes the source node counters.
 func (r *RemoteAgent) Stats() core.SourceStats { return r.agent.Stats() }
 
+// Tracer returns the agent's local flight recorder, or nil when the
+// agent was dialed without Trace.
+func (r *RemoteAgent) Tracer() *trace.Recorder { return r.tracer }
+
+// TraceNegotiated reports whether the server advertised the trace
+// feature, i.e. whether decision frames precede this agent's updates
+// on the wire.
+func (r *RemoteAgent) TraceNegotiated() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.wireTrace
+}
+
 // Reconnect re-establishes the server connection after a transport
 // failure and resends every update the (possibly crash-recovered)
 // server may not have durably applied. The install reply's ResumeSeq —
@@ -613,7 +699,7 @@ func (r *RemoteAgent) Reconnect() error {
 	oldConn.Close()
 	<-r.readerDone
 
-	conn, w, rd, inst, err := dialHandshake(r.addr, r.sourceID, r.window, r.opts)
+	conn, w, rd, inst, feats, err := dialHandshake(r.addr, r.sourceID, r.window, r.opts)
 	if err != nil {
 		return err
 	}
@@ -642,6 +728,10 @@ func (r *RemoteAgent) Reconnect() error {
 	r.conn = conn
 	r.w = w
 	r.err = nil
+	// The replacement server may or may not speak trace frames;
+	// renegotiate rather than assume (resent updates below carry no
+	// fresh decisions, so they are untraced either way).
+	r.wireTrace = r.opts.Trace && feats&wire.FeatTrace != 0
 	r.outstanding = r.outstanding[:0]
 	r.sendTimes = r.sendTimes[:0]
 	r.readerDone = make(chan struct{})

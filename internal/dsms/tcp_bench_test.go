@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"streamkf/internal/stream"
+	"streamkf/internal/trace"
 )
 
 // benchReading builds a reading whose value jumps by 1 each step, so a
@@ -54,9 +55,53 @@ func benchTCPIngestSingle(b *testing.B) {
 	}
 }
 
+// benchTCPIngestTraced is benchTCPIngestSingle with end-to-end tracing
+// on: server flight recorders, the negotiated trace frame ahead of
+// every update, and the agent-local recorder. The budget pinned in
+// BENCH_TCP.json proves tracing rides the ingest path without
+// allocating.
+func benchTCPIngestTraced(b *testing.B) {
+	catalog := testCatalog()
+	s := NewServer(catalog)
+	s.EnableTracing(trace.Options{})
+	if err := s.Register(stream.Query{ID: "q-bench", SourceID: "bench", Delta: 1e-6, Model: "constant"}); err != nil {
+		b.Fatal(err)
+	}
+	ts, err := NewTCPServer(s, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go ts.Serve()
+	defer ts.Close()
+	agent, err := DialSourceOptions(ts.Addr(), "bench", catalog, DialOptions{Telemetry: s.Telemetry(), Trace: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer agent.Close()
+	if !agent.wireTrace {
+		b.Fatal("trace feature not negotiated")
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sent, err := agent.Offer(benchReading(i, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sent {
+			b.Fatal("reading unexpectedly suppressed")
+		}
+	}
+	if err := agent.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkTCPIngest measures the loopback source→server update path.
 func BenchmarkTCPIngest(b *testing.B) {
 	b.Run("single", benchTCPIngestSingle)
+	b.Run("traced", benchTCPIngestTraced)
 
 	for _, workers := range []int{4} {
 		b.Run(fmt.Sprintf("parallel/%d", workers), func(b *testing.B) {

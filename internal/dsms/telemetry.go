@@ -17,12 +17,12 @@ var epoch = time.Now()
 // nowNanos returns monotonic nanoseconds since process start.
 func nowNanos() int64 { return int64(time.Since(epoch)) }
 
-// numTags sizes the per-tag counter arrays: wire tags are 0x01..0x07,
+// numTags sizes the per-tag counter arrays: wire tags are 0x01..0x08,
 // index 0 collects anything out of range.
-const numTags = 8
+const numTags = 9
 
 // tagLabels names the per-tag label values, indexed by wire.Tag.
-var tagLabels = [numTags]string{"other", "hello", "install", "update", "ack", "query", "answer", "error"}
+var tagLabels = [numTags]string{"other", "hello", "install", "update", "ack", "query", "answer", "error", "trace"}
 
 // serverTelemetry bundles the server-wide instruments: the registry the
 // admin endpoint scrapes, StepAll batch latency, and the wire-layer

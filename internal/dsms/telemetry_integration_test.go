@@ -136,3 +136,21 @@ func TestTCPIngestAllocBudget(t *testing.T) {
 		t.Fatalf("TCP ingest with telemetry allocates %d/op, budget %d/op (BENCH_TCP.json)", got, budget)
 	}
 }
+
+// TestTCPIngestTracedAllocBudget gates the fully traced TCP ingest path
+// — server flight recorders, negotiated trace frames, agent recorder —
+// on the budget pinned in BENCH_TCP.json: tracing must also ride along
+// for free.
+func TestTCPIngestTracedAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a benchmark")
+	}
+	budget, ok := benchBudgets(t, "../../BENCH_TCP.json")["BenchmarkTCPIngest/traced"]
+	if !ok {
+		t.Fatal("BENCH_TCP.json has no BenchmarkTCPIngest/traced entry")
+	}
+	res := testing.Benchmark(benchTCPIngestTraced)
+	if got := res.AllocsPerOp(); got > budget {
+		t.Fatalf("traced TCP ingest allocates %d/op, budget %d/op (BENCH_TCP.json)", got, budget)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"streamkf/internal/core"
+	"streamkf/internal/trace"
 )
 
 // FuzzFrameDecode drives arbitrary bytes through the frame reader and
@@ -34,6 +35,12 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(seed(func(w *Writer) error { return w.Query("q", 12) }))
 	f.Add(seed(func(w *Writer) error { return w.Ack(-3) }))
 	f.Add(seed(func(w *Writer) error { return w.Error("boom") }))
+	f.Add(seed(func(w *Writer) error {
+		return w.Trace(&trace.DecisionInfo{
+			TraceID: 17, Seq: 9, Decision: trace.DecisionSend,
+			Raw: 3.25, Smoothed: 3.0, Pred: 1.5, Residual: 1.5, Delta: 0.5, NIS: 4.0,
+		})
+	}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data), 0, 0)
@@ -53,6 +60,7 @@ func FuzzFrameDecode(f *testing.F) {
 			_, _, _ = r.DecodeQuery(p)
 			_, _, _ = DecodeAnswer(p)
 			_, _ = DecodeError(p)
+			_, _ = DecodeTrace(p)
 			_ = tag
 		}
 	})

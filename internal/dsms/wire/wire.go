@@ -6,9 +6,10 @@
 // with zero allocations into per-connection scratch buffers.
 //
 // A connection opens with a 6-byte preamble in each direction — 4 magic
-// bytes, a protocol version, and a reserved byte — so a peer speaking
-// the wrong protocol (or a future incompatible version) is rejected with
-// a clear error instead of an opaque decode failure. Frames follow:
+// bytes, a protocol version, and a feature-bit byte (reserved and zero
+// before tracing) — so a peer speaking the wrong protocol (or a future
+// incompatible version) is rejected with a clear error instead of an
+// opaque decode failure. Frames follow:
 //
 //	uint32 LE  length   (tag + payload bytes; never 0, capped by MaxFrame)
 //	uint8      tag
@@ -26,6 +27,7 @@ import (
 	"math"
 
 	"streamkf/internal/core"
+	"streamkf/internal/trace"
 )
 
 // Version is the protocol version this package speaks. Peers with a
@@ -35,8 +37,26 @@ import (
 //
 //	1  initial binary framing (replaced gob)
 //	2  install frames carry ResumeSeq so a durable server can tell a
-//	   reconnecting source to resume instead of re-bootstrapping
+//	   reconnecting source to resume instead of re-bootstrapping.
+//	   Within v2 the preamble's sixth byte, written 0 and ignored
+//	   through PR 4, became a feature-bit field (FeatTrace): peers that
+//	   predate it still write 0 (no features) and still ignore what
+//	   they read, so feature negotiation is backward compatible without
+//	   a version bump.
 const Version byte = 2
+
+// Feature bits carried in the preamble's reserved byte. A bit is an
+// *advertisement*, not a demand: a peer that does not know a bit
+// ignores it, so features must only ever enable frames the advertiser
+// is prepared to receive.
+const (
+	// FeatTrace announces that this side accepts TagTrace frames — the
+	// optional decision-evidence tag a tracing server consumes. Agents
+	// must not send trace frames to a server that did not advertise it:
+	// an older server would answer the unknown tag with an error frame,
+	// which is sticky and would fail the agent's next Offer.
+	FeatTrace byte = 0x01
+)
 
 // DefaultMaxFrame caps the accepted frame length (tag + payload). A
 // frame announcing a larger length is rejected before any payload is
@@ -47,7 +67,7 @@ const DefaultMaxFrame = 1 << 20
 // Wire) and deliberately collides with no common plaintext protocol.
 var Magic = [4]byte{'D', 'K', 'F', 'W'}
 
-const preambleLen = 6 // magic + version + reserved
+const preambleLen = 6 // magic + version + feature bits (reserved before tracing)
 
 // Tag identifies a frame's message type.
 type Tag byte
@@ -64,6 +84,7 @@ const (
 	TagQuery   Tag = 0x05 // client → server: queryID at seq
 	TagAnswer  Tag = 0x06 // server → client: query result values
 	TagError   Tag = 0x07 // server → client: failure description
+	TagTrace   Tag = 0x08 // client → server: decision evidence for the next update (requires FeatTrace)
 )
 
 // String names the tag for diagnostics.
@@ -83,6 +104,8 @@ func (t Tag) String() string {
 		return "answer"
 	case TagError:
 		return "error"
+	case TagTrace:
+		return "trace"
 	default:
 		return fmt.Sprintf("tag(0x%02x)", byte(t))
 	}
@@ -119,12 +142,20 @@ func (e *FrameSizeError) Error() string {
 	return fmt.Sprintf("wire: frame length %d exceeds limit %d", e.Len, e.Max)
 }
 
-// WritePreamble sends the magic/version preamble. Tests may send a
-// non-current version to exercise rejection.
+// WritePreamble sends the magic/version preamble with no feature bits —
+// the shape every peer through PR 4 emits. Tests may send a non-current
+// version to exercise rejection.
 func WritePreamble(w io.Writer, version byte) error {
+	return WritePreambleFeatures(w, version, 0)
+}
+
+// WritePreambleFeatures sends the magic/version preamble advertising the
+// given feature bits in the sixth byte.
+func WritePreambleFeatures(w io.Writer, version, features byte) error {
 	var p [preambleLen]byte
 	copy(p[:4], Magic[:])
 	p[4] = version
+	p[5] = features
 	if _, err := w.Write(p[:]); err != nil {
 		return fmt.Errorf("wire: write preamble: %w", err)
 	}
@@ -135,14 +166,23 @@ func WritePreamble(w io.Writer, version byte) error {
 // protocol version. The caller decides whether the version is
 // acceptable (CheckVersion implements strict equality).
 func ReadPreamble(r io.Reader) (byte, error) {
+	version, _, err := ReadPreambleFeatures(r)
+	return version, err
+}
+
+// ReadPreambleFeatures consumes and validates the peer's preamble,
+// returning its protocol version and advertised feature bits. Unknown
+// bits must be ignored, which is what keeps the byte forward
+// compatible.
+func ReadPreambleFeatures(r io.Reader) (version, features byte, err error) {
 	var p [preambleLen]byte
 	if _, err := io.ReadFull(r, p[:]); err != nil {
-		return 0, mapReadErr(err, false)
+		return 0, 0, mapReadErr(err, false)
 	}
 	if [4]byte(p[:4]) != Magic {
-		return 0, ErrBadMagic
+		return 0, 0, ErrBadMagic
 	}
-	return p[4], nil
+	return p[4], p[5], nil
 }
 
 // CheckVersion rejects any peer version other than ours.
@@ -197,11 +237,18 @@ func NewWriter(w io.Writer, bufSize int, maxFrame int) *Writer {
 	return &Writer{bw: bufio.NewWriterSize(w, bufSize), max: uint32(maxFrame)}
 }
 
-// WritePreamble buffers this side's preamble.
+// WritePreamble buffers this side's preamble with no feature bits.
 func (w *Writer) WritePreamble(version byte) error {
+	return w.WritePreambleFeatures(version, 0)
+}
+
+// WritePreambleFeatures buffers this side's preamble advertising the
+// given feature bits.
+func (w *Writer) WritePreambleFeatures(version, features byte) error {
 	var p [preambleLen]byte
 	copy(p[:4], Magic[:])
 	p[4] = version
+	p[5] = features
 	_, err := w.bw.Write(p[:])
 	return err
 }
@@ -368,6 +415,32 @@ func (w *Writer) Answer(queryID string, values []float64) error {
 	return w.finish()
 }
 
+// Trace buffers one decision-evidence frame. It precedes the TagUpdate
+// frame for the same sequence so a tracing server can attach the
+// source's suppression evidence to the apply it is about to perform.
+// The frame is only legal toward a peer that advertised FeatTrace;
+// servers that never saw the bit treat 0x08 as an unknown tag.
+//
+// Payload layout (65 bytes, fixed):
+//
+//	int64   traceID
+//	int64   seq
+//	uint8   decision (trace.Decision)
+//	float64 raw, smoothed, pred, residual, delta, nis
+func (w *Writer) Trace(d *trace.DecisionInfo) error {
+	w.begin(TagTrace)
+	w.scratch = AppendI64(w.scratch, d.TraceID)
+	w.scratch = AppendI64(w.scratch, d.Seq)
+	w.scratch = append(w.scratch, byte(d.Decision))
+	w.scratch = AppendF64(w.scratch, d.Raw)
+	w.scratch = AppendF64(w.scratch, d.Smoothed)
+	w.scratch = AppendF64(w.scratch, d.Pred)
+	w.scratch = AppendF64(w.scratch, d.Residual)
+	w.scratch = AppendF64(w.scratch, d.Delta)
+	w.scratch = AppendF64(w.scratch, d.NIS)
+	return w.finish()
+}
+
 // Error buffers a failure report. Messages beyond 64 KiB are truncated
 // rather than rejected — an error path must not fail on length.
 func (w *Writer) Error(msg string) error {
@@ -414,6 +487,12 @@ func NewReader(r io.Reader, bufSize int, maxFrame int) *Reader {
 // ReadPreamble consumes and validates the peer's preamble.
 func (r *Reader) ReadPreamble() (byte, error) {
 	return ReadPreamble(r.br)
+}
+
+// ReadPreambleFeatures consumes and validates the peer's preamble,
+// returning version and feature bits.
+func (r *Reader) ReadPreambleFeatures() (version, features byte, err error) {
+	return ReadPreambleFeatures(r.br)
 }
 
 // Buffered reports how many received bytes wait to be parsed. The
@@ -656,6 +735,25 @@ func DecodeAnswer(p []byte) (queryID string, values []float64, err error) {
 		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
 	}
 	return string(id), values, nil
+}
+
+// DecodeTrace parses a decision-evidence payload.
+func DecodeTrace(p []byte) (trace.DecisionInfo, error) {
+	c := NewCursor(p)
+	var d trace.DecisionInfo
+	d.TraceID = c.I64()
+	d.Seq = c.I64()
+	d.Decision = trace.Decision(c.U8())
+	d.Raw = c.F64()
+	d.Smoothed = c.F64()
+	d.Pred = c.F64()
+	d.Residual = c.F64()
+	d.Delta = c.F64()
+	d.NIS = c.F64()
+	if !c.Done() {
+		return trace.DecisionInfo{}, malformed(TagTrace)
+	}
+	return d, nil
 }
 
 // DecodeError parses an error payload.

@@ -10,6 +10,7 @@ import (
 	"unsafe"
 
 	"streamkf/internal/core"
+	"streamkf/internal/trace"
 )
 
 // pipe builds a connected Writer/Reader pair over an in-memory buffer.
@@ -62,6 +63,13 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err := w.Error("boom"); err != nil {
 		t.Fatal(err)
 	}
+	d := trace.DecisionInfo{
+		TraceID: 88, Seq: 1 << 40, Decision: trace.DecisionSend,
+		Raw: 5.5, Smoothed: 5.25, Pred: 2.0, Residual: 3.25, Delta: 0.5, NIS: 7.5,
+	}
+	if err := w.Trace(&d); err != nil {
+		t.Fatal(err)
+	}
 	mustFlush(t, w)
 
 	if id, err := DecodeHello(next(t, r, TagHello)); err != nil || id != "sensor-a" {
@@ -96,6 +104,9 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	if msg, err := DecodeError(next(t, r, TagError)); err != nil || msg != "boom" {
 		t.Fatalf("error = %q, %v", msg, err)
+	}
+	if got, err := DecodeTrace(next(t, r, TagTrace)); err != nil || got != d {
+		t.Fatalf("trace = %+v, %v; want %+v", got, err, d)
 	}
 	// Stream fully consumed: a clean EOF at the frame boundary.
 	if _, _, err := r.Next(); !errors.Is(err, core.ErrPeerClosed) {
@@ -200,6 +211,50 @@ func TestPreamble(t *testing.T) {
 	}
 }
 
+func TestPreambleFeatures(t *testing.T) {
+	// A feature-advertising preamble round-trips version and bits.
+	var buf bytes.Buffer
+	if err := WritePreambleFeatures(&buf, Version, FeatTrace); err != nil {
+		t.Fatal(err)
+	}
+	ver, feats, err := ReadPreambleFeatures(&buf)
+	if err != nil || ver != Version || feats != FeatTrace {
+		t.Fatalf("preamble = v%d feats %#02x, %v; want v%d feats %#02x", ver, feats, err, Version, FeatTrace)
+	}
+
+	// A pre-tracing peer writes a zero feature byte: same wire shape,
+	// read by the feature-aware reader as "no features".
+	buf.Reset()
+	if err := WritePreamble(&buf, Version); err != nil {
+		t.Fatal(err)
+	}
+	if _, feats, err = ReadPreambleFeatures(&buf); err != nil || feats != 0 {
+		t.Fatalf("legacy preamble feats = %#02x, %v; want 0", feats, err)
+	}
+
+	// And the legacy reader ignores whatever a feature-advertising peer
+	// wrote in byte 5 — the compat contract both directions rely on.
+	buf.Reset()
+	if err := WritePreambleFeatures(&buf, Version, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	if ver, err = ReadPreamble(&buf); err != nil || ver != Version {
+		t.Fatalf("legacy read of feature preamble = v%d, %v", ver, err)
+	}
+
+	// The buffered Writer/Reader pair speaks the same shape.
+	buf.Reset()
+	w := NewWriter(&buf, 0, 0)
+	if err := w.WritePreambleFeatures(Version, FeatTrace); err != nil {
+		t.Fatal(err)
+	}
+	mustFlush(t, w)
+	r := NewReader(&buf, 0, 0)
+	if ver, feats, err = r.ReadPreambleFeatures(); err != nil || ver != Version || feats != FeatTrace {
+		t.Fatalf("buffered preamble = v%d feats %#02x, %v", ver, feats, err)
+	}
+}
+
 func TestNextTruncation(t *testing.T) {
 	// Header promises 100 payload bytes; only a few arrive.
 	frame := []byte{101, 0, 0, 0, byte(TagUpdate), 1, 2, 3}
@@ -287,6 +342,8 @@ func TestDecodeMalformedPayloads(t *testing.T) {
 		{"query", func() error { _, _, err := r.DecodeQuery([]byte{2, 0, 'q'}); return err }()},
 		{"answer", func() error { _, _, err := DecodeAnswer([]byte{1, 0, 'q', 9, 0}); return err }()},
 		{"error", func() error { _, err := DecodeError([]byte{5, 0, 'x'}); return err }()},
+		{"trace", func() error { _, err := DecodeTrace(make([]byte, 64)); return err }()},
+		{"trace-long", func() error { _, err := DecodeTrace(make([]byte, 66)); return err }()},
 		{"trailing", func() error { _, err := DecodeAck(append(make([]byte, 8), 0xff)); return err }()},
 	}
 	for _, c := range cases {

@@ -356,6 +356,21 @@ func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 	return m.hist
 }
 
+// HistogramFor returns the histogram registered under name and labels,
+// without creating one. Status surfaces use it to report quantiles for
+// series some other component may or may not have registered — going
+// through Histogram instead would mint an empty series as a side effect
+// of looking.
+func (r *Registry) HistogramFor(name string, labels ...Label) (*Histogram, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.byKey[key(name, labels)]
+	if !ok || m.kind != kindHistogram {
+		return nil, false
+	}
+	return m.hist, true
+}
+
 // escapeLabel escapes a label value per the Prometheus text format.
 func escapeLabel(v string) string {
 	if !strings.ContainsAny(v, "\\\"\n") {

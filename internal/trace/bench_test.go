@@ -1,0 +1,66 @@
+package trace
+
+import "testing"
+
+// BenchmarkTraceRecord pins the cost of one flight-recorder write. The
+// acceptance bar is 0 allocs/op steady-state: recording must be free
+// enough to sit on the DKF ingest hot path (ReportAllocs makes the
+// regression visible in `make bench` output).
+func BenchmarkTraceRecord(b *testing.B) {
+	r := New(Options{RingSize: 256})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(&Event{
+			TraceID: int64(i), Seq: int64(i), At: int64(i + 1),
+			Kind: KindDecision, Dec: DecisionSuppress,
+			Raw: 1.5, Value: 1.25, Pred: 1.3, Residual: 0.05, Delta: 0.5,
+		})
+	}
+}
+
+// BenchmarkTraceRecordStamped is the production shape: At == 0, so
+// Record stamps the timestamp itself.
+func BenchmarkTraceRecordStamped(b *testing.B) {
+	r := New(Options{RingSize: 256})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(&Event{TraceID: int64(i), Seq: int64(i), Kind: KindApply, Residual: 0.7, Delta: 0.5})
+	}
+}
+
+// TestTraceRecordAllocFree is the CI gate for the benchmark above:
+// steady-state recording (timestamp stamping included) must allocate
+// nothing.
+func TestTraceRecordAllocFree(t *testing.T) {
+	r := New(Options{RingSize: 64})
+	a := r.Audit()
+	var seq int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		seq++
+		r.Record(&Event{TraceID: seq, Seq: seq, Kind: KindDecision, Dec: DecisionSend, Residual: 0.7, Delta: 0.5})
+		a.Observe(seq, 0.7, 0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record+Observe allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEventsSnapshotAllocsBounded pins the read side loosely: a
+// snapshot allocates only its output slice (one backing array), never
+// per-event garbage.
+func TestEventsSnapshotAllocsBounded(t *testing.T) {
+	r := New(Options{RingSize: 64})
+	for i := 0; i < 100; i++ {
+		r.Record(&Event{TraceID: int64(i), Seq: int64(i), Kind: KindApply})
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if len(r.Events()) == 0 {
+			t.Fatal("no events")
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Events() allocated %v allocs/op, want <= 1", allocs)
+	}
+}

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestKindDecisionStrings(t *testing.T) {
+	for k := KindSmooth; k <= KindAnswer; k++ {
+		s := k.String()
+		got, err := ParseKind(s)
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", s, got, err, k)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatal("ParseKind accepted an unknown kind")
+	}
+	for d := DecisionSuppress; d <= DecisionBootstrap; d++ {
+		s := d.String()
+		got, err := ParseDecision(s)
+		if err != nil || got != d {
+			t.Fatalf("ParseDecision(%q) = %v, %v; want %v", s, got, err, d)
+		}
+	}
+	if _, err := ParseDecision("maybe"); err == nil {
+		t.Fatal("ParseDecision accepted an unknown decision")
+	}
+	if DecisionNone.String() != "" {
+		t.Fatalf("DecisionNone.String() = %q, want empty", DecisionNone.String())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(&Event{Kind: KindApply})
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder Events() = %v, want nil", got)
+	}
+	if r.Sampled(0) {
+		t.Fatal("nil recorder reports Sampled")
+	}
+	if r.Cap() != 0 || r.Recorded() != 0 {
+		t.Fatal("nil recorder reports capacity or events")
+	}
+	r.Audit().Observe(1, 2, 3)
+	if s := r.Audit().Snapshot(); s.Applies != 0 {
+		t.Fatalf("nil audit snapshot = %+v, want zero", s)
+	}
+}
+
+func TestRingSizeRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultRingSize}, {-5, DefaultRingSize}, {1, 1}, {2, 2}, {3, 4}, {100, 128}, {256, 256},
+	} {
+		if got := New(Options{RingSize: tc.in}).Cap(); got != tc.want {
+			t.Fatalf("New(RingSize=%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := New(Options{RingSize: 8})
+	in := Event{
+		TraceID: 42, Seq: 7, At: 12345,
+		Kind: KindDecision, Dec: DecisionSend,
+		Raw: 1.5, Value: 1.25, Pred: 0.5, Residual: 0.75, Delta: 0.1, NIS: 3.5,
+		Aux: 99,
+	}
+	r.Record(&in)
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("Events() returned %d events, want 1", len(evs))
+	}
+	if evs[0] != in {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", evs[0], in)
+	}
+	v := evs[0].View()
+	if v.Kind != "decision" || v.Decision != "send" || v.TraceID != 42 || v.Residual != 0.75 {
+		t.Fatalf("View() = %+v", v)
+	}
+}
+
+func TestRecordStampsTime(t *testing.T) {
+	r := New(Options{})
+	r.Record(&Event{Kind: KindApply})
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].At == 0 {
+		t.Fatalf("Record did not stamp At: %+v", evs)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := New(Options{RingSize: 16})
+	const n = 50
+	for i := 0; i < n; i++ {
+		r.Record(&Event{TraceID: int64(i), Seq: int64(i), At: int64(i + 1), Kind: KindApply})
+	}
+	if r.Recorded() != n {
+		t.Fatalf("Recorded() = %d, want %d", r.Recorded(), n)
+	}
+	evs := r.Events()
+	if len(evs) != 16 {
+		t.Fatalf("Events() returned %d events, want 16", len(evs))
+	}
+	for i, ev := range evs {
+		want := int64(n - 16 + i)
+		if ev.TraceID != want {
+			t.Fatalf("event %d has TraceID %d, want %d (oldest-first order)", i, ev.TraceID, want)
+		}
+	}
+}
+
+func TestSampled(t *testing.T) {
+	every := New(Options{})
+	for seq := int64(0); seq < 5; seq++ {
+		if !every.Sampled(seq) {
+			t.Fatalf("Sample<=1 recorder not sampled at %d", seq)
+		}
+	}
+	tenth := New(Options{Sample: 10})
+	for seq := int64(0); seq < 30; seq++ {
+		want := seq%10 == 0
+		if tenth.Sampled(seq) != want {
+			t.Fatalf("Sample=10 Sampled(%d) = %v, want %v", seq, tenth.Sampled(seq), want)
+		}
+	}
+}
+
+func TestAudit(t *testing.T) {
+	r := New(Options{})
+	a := r.Audit()
+	const delta = 2.0
+	a.Observe(10, 2.5, delta)
+	a.Observe(11, 6.0, delta)
+	a.Observe(12, 1.5, delta) // under δ: broken-mirror evidence
+	a.Observe(13, 3.0, delta)
+	s := a.Snapshot()
+	if s.Applies != 4 {
+		t.Fatalf("Applies = %d, want 4", s.Applies)
+	}
+	if s.Delta != delta {
+		t.Fatalf("Delta = %v, want %v", s.Delta, delta)
+	}
+	if s.MaxAbsInnovation != 6.0 || s.MaxSeq != 11 {
+		t.Fatalf("max = %v at seq %d, want 6.0 at 11", s.MaxAbsInnovation, s.MaxSeq)
+	}
+	if s.MaxOverDelta != 3.0 {
+		t.Fatalf("MaxOverDelta = %v, want 3.0", s.MaxOverDelta)
+	}
+	if s.UnderDeltaSends != 1 {
+		t.Fatalf("UnderDeltaSends = %d, want 1", s.UnderDeltaSends)
+	}
+	if s.LastAbsInnovation != 3.0 || s.LastSeq != 13 {
+		t.Fatalf("last = %v at seq %d, want 3.0 at 13", s.LastAbsInnovation, s.LastSeq)
+	}
+	wantMean := (2.5 + 6.0 + 1.5 + 3.0) / 4
+	if s.MeanAbsInnovation != wantMean {
+		t.Fatalf("MeanAbsInnovation = %v, want %v", s.MeanAbsInnovation, wantMean)
+	}
+}
+
+// TestConcurrentRecordAndSnapshot hammers one recorder from several
+// writers while a reader snapshots continuously. Run with -race this
+// proves the seqlock scheme is data-race-free; the field consistency
+// check proves snapshots never surface a torn event (every writer
+// stores TraceID == Seq == Aux, so any mix of two writes would break
+// the equality).
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	r := New(Options{RingSize: 64})
+	a := r.Audit()
+	const writers = 4
+	const perWriter = 5000
+	stop := make(chan struct{})
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() {
+		defer readerDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range r.Events() {
+				if ev.TraceID != ev.Seq || ev.TraceID != ev.Aux {
+					t.Errorf("torn event surfaced: %+v", ev)
+					return
+				}
+			}
+			a.Snapshot()
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := int64(w*perWriter + i)
+				r.Record(&Event{TraceID: id, Seq: id, Kind: KindApply, Aux: id})
+				a.Observe(id, float64(i%7), 3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerDone.Wait()
+	if got := r.Recorded(); got != writers*perWriter {
+		t.Fatalf("Recorded() = %d, want %d", got, writers*perWriter)
+	}
+	if s := a.Snapshot(); s.Applies != writers*perWriter {
+		t.Fatalf("audit Applies = %d, want %d", s.Applies, writers*perWriter)
+	}
+}
