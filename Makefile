@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-net bench-wal bench-trace fuzz check baseline profile-cpu profile-heap
+.PHONY: build test race vet bench bench-net bench-ingest bench-wal bench-trace fuzz check baseline profile-cpu profile-heap
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ bench:
 # BENCH_TCP.json for recorded before/after numbers).
 bench-net:
 	$(GO) test -run '^$$' -bench 'BenchmarkTCPIngest' -benchmem -count 3 ./internal/dsms/
+
+# Shard-engine datagram ingest: the rx->apply hot path and the
+# aggregate fan-in comparison against the per-connection TCP model (see
+# BENCH_INGEST.json for recorded before/after numbers). The 100k-source
+# scale run is `go run ./cmd/dkf-bench -fanin -sources 100000 -n 20`.
+bench-ingest:
+	$(GO) test -run '^$$' -bench 'BenchmarkUDPIngest' -benchmem -count 3 ./internal/dsms/
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestFanIn' -benchmem -benchtime 100000x -count 3 ./internal/dsms/
 
 # WAL append cost per fsync policy plus the durable loopback ingest
 # path (see BENCH_WAL.json for recorded numbers).

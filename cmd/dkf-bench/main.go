@@ -8,6 +8,7 @@
 //	dkf-bench -list                # list experiment ids and captions
 //	dkf-bench -experiment fig4 -csv out.csv   # also export sweep as CSV
 //	dkf-bench -load -server 127.0.0.1:7474 -sources 4 -n 20000
+//	dkf-bench -fanin -sources 100000 -n 20    # datagram fan-in scale run
 package main
 
 import (
@@ -34,8 +35,20 @@ func main() {
 		rate       = flag.Duration("rate", 0, "inter-reading delay per agent (-load mode)")
 		dataDir    = flag.String("data-dir", "", "run the load against an embedded durable server over this directory instead of -server (-load mode)")
 		fsync      = flag.String("fsync", "interval", "WAL fsync policy for -data-dir: always|interval|off (-load mode)")
+		fanin      = flag.Bool("fanin", false, "drive -sources simulated sources over the datagram transport against an in-process server and report throughput + per-source memory")
+		shards     = flag.Int("shards", 0, "ingest engine shard count; 0 = GOMAXPROCS (-fanin mode)")
+		ring       = flag.Int("ring", 8192, "per-shard SPSC ring capacity (-fanin mode)")
 	)
 	flag.Parse()
+
+	if *fanin {
+		cfg := fanInConfig{sources: *sources, n: *n, shards: *shards, ring: *ring}
+		if err := runFanIn(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "dkf-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *load {
 		cfg := loadConfig{server: *server, prefix: *prefix, sources: *sources, n: *n, window: *window, rate: *rate, dataDir: *dataDir, fsync: *fsync}

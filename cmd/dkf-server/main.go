@@ -15,6 +15,11 @@
 // default catalog: constant, linear, acceleration, jerk, constant2d,
 // linear2d.
 //
+// With -udp the server additionally accepts the connectionless datagram
+// transport on that address, feeding the shard-per-core ingest engine
+// (-shards, -ring tune it) — the 100k-source fan-in path. Sources pick
+// it with dkf-source -transport udp.
+//
 // With -data-dir the server is durable: every registration and update
 // is written to a write-ahead log and periodically checkpointed, so a
 // restart with the same -data-dir recovers the exact filter state and
@@ -87,6 +92,9 @@ func main() {
 		dt         = flag.Float64("dt", 1.0, "sampling interval assumed by the model catalog")
 		stats      = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 		maxFrame   = flag.Int("maxframe", 0, "max accepted wire frame size in bytes (0 = 1 MiB default)")
+		udpListen  = flag.String("udp", "", "also accept the connectionless datagram transport on this address (empty disables)")
+		shards     = flag.Int("shards", 0, "ingest engine shard count for -udp; 0 = GOMAXPROCS")
+		ring       = flag.Int("ring", 0, "per-shard SPSC ring capacity for -udp (0 = default)")
 		dataDir    = flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty = non-durable)")
 		fsync      = flag.String("fsync", "interval", "WAL fsync policy: always|interval|off")
 		fsyncEvery = flag.Duration("fsync-interval", 0, "flush period for -fsync interval (0 = 50ms default)")
@@ -167,6 +175,23 @@ func main() {
 	}
 	logger.Info("dkf-server listening", "addr", ts.Addr(), "models", strings.Join(catalog.Names(), ","))
 
+	var us *dsms.UDPServer
+	if *udpListen != "" {
+		us, err = dsms.NewUDPServer(server, *udpListen, dsms.UDPServerOptions{
+			Engine: dsms.EngineOptions{Shards: *shards, RingSize: *ring},
+		})
+		if err != nil {
+			logger.Error("udp listen failed", "addr", *udpListen, "err", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := us.Serve(); err != nil {
+				logger.Error("udp serve failed", "err", err)
+			}
+		}()
+		logger.Info("datagram transport listening", "addr", us.Addr(), "shards", server.Engine().Shards())
+	}
+
 	var adminSrv *dsms.AdminServer
 	if *admin != "" {
 		adminSrv, err = dsms.ServeAdmin(server, *admin, logger)
@@ -205,6 +230,14 @@ func main() {
 	go func() { done <- ts.Serve() }()
 	shutdown := func() {
 		close(statsStop)
+		if us != nil {
+			if err := us.Close(); err != nil {
+				logger.Warn("udp close", "err", err)
+			}
+			// Drain in-flight ring entries into the filters (and the WAL,
+			// when durable) before the final checkpoint below.
+			server.Engine().Close()
+		}
 		if adminSrv != nil {
 			if err := adminSrv.Close(); err != nil {
 				logger.Warn("admin close", "err", err)

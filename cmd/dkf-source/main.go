@@ -7,6 +7,12 @@
 //
 //	dkf-source -server 127.0.0.1:7474 -source sensor-a -dataset movingobject -rate 100ms
 //	dkf-source -server 127.0.0.1:7474 -source sensor-b -csv readings.csv
+//	dkf-source -server 127.0.0.1:7476 -source sensor-c -transport udp -dataset powerload
+//
+// With -transport udp the agent speaks the connectionless datagram
+// protocol (the server must run with -udp): no acks, no resends — the
+// DKF protocol's loss tolerance is the reliability layer, so -window
+// does not apply.
 //
 // With -trace the agent keeps a local flight recorder of every
 // suppression decision and — when the server also runs -trace — ships
@@ -20,11 +26,24 @@ import (
 	"os"
 	"time"
 
+	"streamkf/internal/core"
 	"streamkf/internal/dsms"
 	"streamkf/internal/gen"
 	"streamkf/internal/stream"
 	"streamkf/internal/telemetry"
+	"streamkf/internal/trace"
 )
+
+// sourceAgent is what the streaming loop needs from either transport's
+// agent: TCP's RemoteAgent and UDP's UDPAgent both satisfy it.
+type sourceAgent interface {
+	Offer(r stream.Reading) (sent bool, err error)
+	Drain() error
+	Stats() core.SourceStats
+	Tracer() *trace.Recorder
+	TraceNegotiated() bool
+	Close() error
+}
 
 func main() {
 	var (
@@ -36,7 +55,8 @@ func main() {
 		dt        = flag.Float64("dt", 1.0, "sampling interval assumed by the model catalog")
 		seed      = flag.Int64("seed", 0, "generator seed override")
 		n         = flag.Int("n", 0, "generator length override")
-		window    = flag.Int("window", dsms.DefaultWindow, "max unacked updates in flight (1 = synchronous ack per update)")
+		window    = flag.Int("window", dsms.DefaultWindow, "max unacked updates in flight (1 = synchronous ack per update; tcp only)")
+		transport = flag.String("transport", "tcp", "transport protocol: tcp | udp")
 		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		traceOn   = flag.Bool("trace", false, "record decision trails locally and offer them to the server")
 		traceRing = flag.Int("trace-ring", 0, "flight-recorder ring size (0 = 256 default)")
@@ -61,18 +81,31 @@ func main() {
 		os.Exit(2)
 	}
 
-	agent, err := dsms.DialSourceOptions(*server, *source, dsms.DefaultCatalog(*dt), dsms.DialOptions{
-		Window:      *window,
-		Trace:       *traceOn,
-		TraceRing:   *traceRing,
-		TraceSample: *traceSamp,
-	})
+	var agent sourceAgent
+	switch *transport {
+	case "tcp":
+		agent, err = dsms.DialSourceOptions(*server, *source, dsms.DefaultCatalog(*dt), dsms.DialOptions{
+			Window:      *window,
+			Trace:       *traceOn,
+			TraceRing:   *traceRing,
+			TraceSample: *traceSamp,
+		})
+	case "udp":
+		agent, err = dsms.DialSourceUDP(*server, *source, dsms.DefaultCatalog(*dt), dsms.UDPDialOptions{
+			Trace:       *traceOn,
+			TraceRing:   *traceRing,
+			TraceSample: *traceSamp,
+		})
+	default:
+		logger.Error("bad -transport; want tcp or udp", "transport", *transport)
+		os.Exit(2)
+	}
 	if err != nil {
-		logger.Error("dial failed", "server", *server, "err", err)
+		logger.Error("dial failed", "server", *server, "transport", *transport, "err", err)
 		os.Exit(1)
 	}
 	defer agent.Close()
-	logger.Info("connected", "source", *source, "server", *server, "readings", len(data), "window", *window)
+	logger.Info("connected", "source", *source, "server", *server, "transport", *transport, "readings", len(data), "window", *window)
 	if *traceOn {
 		logger.Info("tracing enabled", "wire_frames", agent.TraceNegotiated())
 	}
@@ -107,7 +140,7 @@ func main() {
 // printTrail dumps the tail of the local flight recorder to stderr.
 // Suppression decisions never cross the wire — the suppressed half of
 // the trail exists only here, at the source.
-func printTrail(agent *dsms.RemoteAgent, n int) {
+func printTrail(agent sourceAgent, n int) {
 	events := agent.Tracer().Events()
 	if len(events) > n {
 		events = events[len(events)-n:]

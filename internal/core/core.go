@@ -553,6 +553,12 @@ type FilterHealth struct {
 // prediction missed), a value at or below δ is broken-mirror evidence.
 func (s *ServerNode) LastInnovation() (float64, bool) { return s.lastInnov, s.innovValid }
 
+// LastNIS returns the normalized innovation squared of the latest
+// non-bootstrap update, and whether one has been computed. Unlike
+// Health it touches no window state, so the ingest hot path can record
+// the score without paying for the whiteness scan.
+func (s *ServerNode) LastNIS() (float64, bool) { return s.lastNIS, s.nisValid }
+
 // Health returns the stream's current filter-health diagnostics. It is
 // allocation-free and safe to call on every ingest.
 func (s *ServerNode) Health() FilterHealth {

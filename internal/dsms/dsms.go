@@ -6,10 +6,12 @@
 // from its predictions; plus the source-side agent that runs the mirror
 // filter and decides what to transmit.
 //
-// Two transports are provided: direct in-process calls (deterministic,
-// used by tests and the experiment harness) and a binary framed TCP
-// protocol with pipelined cumulative acks (internal/dsms/wire,
-// cmd/dkf-server and cmd/dkf-source).
+// Three transports are provided: direct in-process calls
+// (deterministic, used by tests and the experiment harness), a binary
+// framed TCP protocol with pipelined cumulative acks (internal/dsms/
+// wire, cmd/dkf-server and cmd/dkf-source), and a connectionless UDP
+// datagram mode feeding the shard-per-core ingest engine (udp.go,
+// ingest.go) for very high source counts.
 package dsms
 
 import (
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"streamkf/internal/core"
+	"streamkf/internal/dsms/engine"
 	"streamkf/internal/model"
 	"streamkf/internal/stream"
 	"streamkf/internal/synopsis"
@@ -120,6 +123,19 @@ type sourceState struct {
 	lastTrace int64
 }
 
+// healthSnapshot reads the stream's current filter health under its
+// runtime lock — the scrape-time callback behind the lazy whiteness
+// gauges. Before bootstrap the stream reports the resting healthy
+// state, matching the presumption the eager gauges used to publish.
+func (st *sourceState) healthSnapshot() core.FilterHealth {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.node == nil {
+		return core.FilterHealth{Healthy: true}
+	}
+	return st.node.Health()
+}
+
 // Server is the central DSMS node.
 //
 // mu is a read-write lock over the topology only: the source map, the
@@ -154,6 +170,14 @@ type Server struct {
 	// db is the durability layer (write-ahead log + checkpoints); nil
 	// on an in-memory server. See persist.go.
 	db *durability
+
+	// engMu guards attachment of the shard ingest engine. eng, engIns
+	// and shardLogs are written once by StartEngine and immutable after;
+	// the shard workers read them without the lock. See ingest.go.
+	engMu     sync.Mutex
+	eng       *engine.Engine
+	engIns    *engineInstruments
+	shardLogs []shardLog
 
 	// traceOpts, guarded by mu, is non-nil while per-stream tracing is
 	// on; new and existing sources get a flight recorder built from it.
@@ -237,7 +261,8 @@ func (s *Server) Register(q stream.Query) error {
 	}
 	st := s.sources[q.SourceID]
 	if st == nil {
-		st = &sourceState{id: q.SourceID, ins: s.tel.source(q.SourceID), lastSeq: -1, ckptSeq: -1}
+		st = &sourceState{id: q.SourceID, lastSeq: -1, ckptSeq: -1}
+		st.ins = s.tel.source(q.SourceID, st.healthSnapshot)
 		if s.traceOpts != nil {
 			st.rec = trace.New(*s.traceOpts)
 		}
@@ -329,76 +354,10 @@ func (s *Server) HandleUpdateTraced(u core.Update, wd *trace.DecisionInfo, wireB
 		return fmt.Errorf("dsms: update for uninstalled source %s", u.SourceID)
 	}
 	st.mu.Lock()
-	if st.node == nil {
-		st.mu.Unlock()
-		return fmt.Errorf("dsms: update for uninstalled source %s", u.SourceID)
-	}
-	if err := st.node.ApplyUpdate(u); err != nil {
+	sampled, tid, err := s.applyLocked(st, &u, wd, wireBytes)
+	if err != nil {
 		st.mu.Unlock()
 		return err
-	}
-	if err := st.recordHistory(u.Seq, u.Values, u.Bootstrap); err != nil {
-		st.mu.Unlock()
-		return fmt.Errorf("dsms: recording history for %s: %w", u.SourceID, err)
-	}
-	st.times.observe(u.Seq, u.Time)
-	// Every sequence number skipped between consecutive transmissions is
-	// a reading the source suppressed (or outlier-rejected): the DKF
-	// contract is that the server's prediction covered it. Counting the
-	// gap server-side keeps the suppression ratio observable without any
-	// extra wire traffic.
-	if !u.Bootstrap && st.lastSeq >= 0 && u.Seq > st.lastSeq+1 {
-		st.ins.suppressed.Add(int64(u.Seq - st.lastSeq - 1))
-	}
-	st.lastSeq = u.Seq
-	st.ins.updates.Inc()
-	st.ins.bytes.Add(int64(u.WireBytes()))
-	st.ins.seq.SetInt(int64(st.node.Seq()))
-	health := st.node.Health()
-	st.ins.observeHealth(health)
-	// Trace the apply under the same lock, after the filter stepped:
-	// the recorded evidence (innovation, NIS) is exactly what this
-	// update produced. st.cfg is written only before the source starts
-	// streaming, so reading Delta here needs no topology lock.
-	tid := int64(0)
-	if wd != nil {
-		tid = wd.TraceID
-	}
-	sampled := st.rec != nil && st.rec.Sampled(int64(u.Seq))
-	innov, innovOK := st.node.LastInnovation()
-	if sampled {
-		if wireBytes > 0 {
-			st.rec.Record(&trace.Event{TraceID: tid, Seq: int64(u.Seq), Kind: trace.KindWireRx, Aux: int64(wireBytes)})
-		}
-		if wd != nil {
-			st.rec.Record(&trace.Event{
-				TraceID: wd.TraceID, Seq: wd.Seq, Kind: trace.KindDecision, Dec: wd.Decision,
-				Raw: wd.Raw, Value: wd.Smoothed, Pred: wd.Pred,
-				Residual: wd.Residual, Delta: wd.Delta, NIS: wd.NIS,
-			})
-		}
-		ev := trace.Event{TraceID: tid, Seq: int64(u.Seq), Kind: trace.KindApply, Delta: st.cfg.Delta}
-		if len(u.Values) > 0 {
-			ev.Value = u.Values[0]
-		}
-		if u.Bootstrap {
-			ev.Dec = trace.DecisionBootstrap
-		} else if innovOK {
-			ev.Residual = innov
-			if health.NISValid {
-				ev.NIS = health.NIS
-			}
-		}
-		st.rec.Record(&ev)
-	}
-	if st.rec != nil {
-		st.lastTrace = tid
-		// The divergence audit sees every non-bootstrap apply, sampled
-		// or not: a transmitted update whose server-side innovation is
-		// within δ is mirror-desync evidence the audit must not miss.
-		if !u.Bootstrap && innovOK {
-			st.rec.Audit().Observe(int64(u.Seq), innov, st.cfg.Delta)
-		}
 	}
 	// Log after the apply, under the same lock, before the caller can
 	// ack: rejected updates never enter the log, and the per-source
@@ -419,6 +378,87 @@ func (s *Server) HandleUpdateTraced(u core.Update, wd *trace.DecisionInfo, wireB
 		s.maybeCheckpoint()
 	}
 	return nil
+}
+
+// applyLocked is the single apply body shared by the synchronous TCP
+// path (HandleUpdateTraced) and the shard engine's batch path
+// (applyRun): filter step, history, time map, suppression accounting,
+// telemetry, trace and audit. Both transports therefore produce
+// bit-identical filter trajectories for the same update sequence.
+// Caller holds st.mu. WAL appending stays with the caller because the
+// two paths commit differently (per-update vs group commit). Returns
+// whether this apply was trace-sampled and the trace id it used.
+func (s *Server) applyLocked(st *sourceState, u *core.Update, wd *trace.DecisionInfo, wireBytes int) (sampled bool, tid int64, err error) {
+	if st.node == nil {
+		return false, 0, fmt.Errorf("dsms: update for uninstalled source %s", u.SourceID)
+	}
+	if err := st.node.ApplyUpdate(*u); err != nil {
+		return false, 0, err
+	}
+	if err := st.recordHistory(u.Seq, u.Values, u.Bootstrap); err != nil {
+		return false, 0, fmt.Errorf("dsms: recording history for %s: %w", u.SourceID, err)
+	}
+	st.times.observe(u.Seq, u.Time)
+	// Every sequence number skipped between consecutive transmissions is
+	// a reading the source suppressed (or outlier-rejected): the DKF
+	// contract is that the server's prediction covered it. Counting the
+	// gap server-side keeps the suppression ratio observable without any
+	// extra wire traffic.
+	if !u.Bootstrap && st.lastSeq >= 0 && u.Seq > st.lastSeq+1 {
+		st.ins.suppressed.Add(int64(u.Seq - st.lastSeq - 1))
+	}
+	st.lastSeq = u.Seq
+	st.ins.updates.Inc()
+	st.ins.bytes.Add(int64(u.WireBytes()))
+	st.ins.seq.SetInt(int64(st.node.Seq()))
+	nis, nisOK := st.node.LastNIS()
+	if nisOK {
+		st.ins.nis.Set(nis)
+	}
+	// Trace the apply under the same lock, after the filter stepped:
+	// the recorded evidence (innovation, NIS) is exactly what this
+	// update produced. st.cfg is written only before the source starts
+	// streaming, so reading Delta here needs no topology lock.
+	if wd != nil {
+		tid = wd.TraceID
+	}
+	sampled = st.rec != nil && st.rec.Sampled(int64(u.Seq))
+	innov, innovOK := st.node.LastInnovation()
+	if sampled {
+		if wireBytes > 0 {
+			st.rec.Record(&trace.Event{TraceID: tid, Seq: int64(u.Seq), Kind: trace.KindWireRx, Aux: int64(wireBytes)})
+		}
+		if wd != nil {
+			st.rec.Record(&trace.Event{
+				TraceID: wd.TraceID, Seq: wd.Seq, Kind: trace.KindDecision, Dec: wd.Decision,
+				Raw: wd.Raw, Value: wd.Smoothed, Pred: wd.Pred,
+				Residual: wd.Residual, Delta: wd.Delta, NIS: wd.NIS,
+			})
+		}
+		ev := trace.Event{TraceID: tid, Seq: int64(u.Seq), Kind: trace.KindApply, Delta: st.cfg.Delta}
+		if len(u.Values) > 0 {
+			ev.Value = u.Values[0]
+		}
+		if u.Bootstrap {
+			ev.Dec = trace.DecisionBootstrap
+		} else if innovOK {
+			ev.Residual = innov
+			if nisOK {
+				ev.NIS = nis
+			}
+		}
+		st.rec.Record(&ev)
+	}
+	if st.rec != nil {
+		st.lastTrace = tid
+		// The divergence audit sees every non-bootstrap apply, sampled
+		// or not: a transmitted update whose server-side innovation is
+		// within δ is mirror-desync evidence the audit must not miss.
+		if !u.Bootstrap && innovOK {
+			st.rec.Audit().Observe(int64(u.Seq), innov, st.cfg.Delta)
+		}
+	}
+	return sampled, tid, nil
 }
 
 // Answer evaluates the named query at reading index seq: it advances the
@@ -454,6 +494,11 @@ func (s *Server) Answer(queryID string, seq int) ([]float64, error) {
 	return vals, nil
 }
 
+// defaultWorkers is the one parallelism knob shared by the batch
+// paths: StepAll's worker pool and the ingest engine's shard count
+// both default to it, so tuning GOMAXPROCS tunes both.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // StepAll advances every streaming source's prediction to reading index
 // seq, fanning the per-stream filter steps over a bounded worker pool.
 // This is the batch path for a central clock tick: instead of paying one
@@ -474,7 +519,7 @@ func (s *Server) StepAll(seq, workers int) int {
 		return 0
 	}
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = defaultWorkers()
 	}
 	if workers > len(batch) {
 		workers = len(batch)
@@ -625,6 +670,7 @@ type Streamz struct {
 	TraceEnabled bool            `json:"trace_enabled"`
 	StepAll      *LatencySummary `json:"stepall_latency,omitempty"`
 	WAL          *WALStreamz     `json:"wal,omitempty"`
+	Engine       *EngineStreamz  `json:"engine,omitempty"`
 	Streams      []Stats         `json:"streams"`
 }
 
@@ -645,6 +691,7 @@ func (s *Server) Streamz() Streamz {
 		}
 		z.WAL = &w
 	}
+	z.Engine = s.engineStreamz()
 	return z
 }
 

@@ -1,0 +1,412 @@
+// Package engine implements the shard-per-core ingest engine: every
+// stream is pinned to one of N shards by a hash of its source id, and
+// each shard owns a single worker goroutine that applies updates for
+// its streams in batch. Network readers (or in-process producers) hand
+// decoded updates to the owning shard over lock-free single-producer /
+// single-consumer ring buffers, so the steady-state ingest path crosses
+// no mutex between the socket and the filter apply.
+//
+// The decomposition is sound for the DKF workload because streams are
+// independent filter pairs — there is no cross-stream state on the
+// apply path (PAPERS.md's distributed Kalman-filtering decomposition is
+// the same observation made formally). Shard ownership gives each
+// stream a single writer, so per-update locking degenerates to one
+// uncontended acquisition per *batch run*, and the write-ahead log can
+// group-commit a whole batch.
+//
+// The package is deliberately ignorant of the DSMS: it moves
+// core.Update values and calls a Sink. internal/dsms wires it to the
+// server (dedup, apply, WAL batching, telemetry) and the UDP transport.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"streamkf/internal/core"
+)
+
+// Sink consumes drained batches. ApplyBatch is invoked only from the
+// owning shard's worker goroutine — implementations need no locking
+// against other shards, only against cross-shard readers of their own
+// state. The batch slice and each update's Values are reused after the
+// call returns; the sink must not retain them.
+type Sink interface {
+	ApplyBatch(shard int, batch []core.Update)
+}
+
+// Options tunes an Engine.
+type Options struct {
+	// Shards is the number of shard workers. <= 0 uses
+	// runtime.GOMAXPROCS(0) — the same default StepAll's worker pool
+	// uses, so the two batch paths share one parallelism knob.
+	Shards int
+	// RingSize is the per-(producer,shard) ring capacity, rounded up
+	// to a power of two. <= 0 selects 1024.
+	RingSize int
+	// BatchSize caps how many updates one ApplyBatch call carries.
+	// <= 0 selects 256.
+	BatchSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.RingSize <= 0 {
+		o.RingSize = 1024
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	n := 1
+	for n < o.RingSize {
+		n <<= 1
+	}
+	o.RingSize = n
+	return o
+}
+
+// slot is one ring entry. It owns its Values storage, so republishing
+// into a previously used slot copies floats into retained capacity and
+// allocates nothing.
+type slot struct {
+	sourceID  string
+	seq       int64
+	time      float64
+	bootstrap bool
+	values    []float64
+}
+
+// ring is a lock-free SPSC queue. head (consumer) and tail (producer)
+// are monotonically increasing positions masked into the slot array;
+// each sits on its own cache line so the producer's stores do not
+// bounce the consumer's line.
+type ring struct {
+	_    [64]byte
+	head atomic.Uint64
+	_    [56]byte
+	tail atomic.Uint64
+	_    [56]byte
+
+	mask  uint64
+	slots []slot
+	sh    *shard
+}
+
+func newRing(size int, sh *shard) *ring {
+	return &ring{mask: uint64(size - 1), slots: make([]slot, size), sh: sh}
+}
+
+// shard is one worker's world: the rings feeding it, its wake-up
+// plumbing, and its occupancy counters.
+type shard struct {
+	id    int
+	rings atomic.Pointer[[]*ring]
+
+	// sleeping is 1 while the worker is parked (or about to park) on
+	// wake. A producer that transitions it 1→0 owns the wake-up.
+	sleeping atomic.Uint32
+	wake     chan struct{}
+
+	// offered counts updates published to this shard's rings (counted
+	// before the publishing store, so offered >= visible items) and
+	// applied counts updates handed to the sink. offered == applied
+	// with quiescent producers means the shard is drained.
+	offered atomic.Uint64
+	applied atomic.Uint64
+	// dropped counts TryOffer rejections (ring full — datagram
+	// semantics shed load instead of blocking the reader).
+	dropped atomic.Uint64
+	// depthHWM is the high-water mark of any feeding ring's occupancy.
+	depthHWM atomic.Uint64
+}
+
+func (sh *shard) ringList() []*ring {
+	if p := sh.rings.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// pending reports how many published updates await draining.
+func (sh *shard) pending() uint64 {
+	var n uint64
+	for _, r := range sh.ringList() {
+		n += r.tail.Load() - r.head.Load()
+	}
+	return n
+}
+
+// maybeWake hands the parked worker its wake-up token. Only the
+// producer that wins the 1→0 transition sends, so the buffered channel
+// never blocks; a stale token merely causes one spurious loop.
+func (sh *shard) maybeWake() {
+	if sh.sleeping.Load() == 1 && sh.sleeping.CompareAndSwap(1, 0) {
+		select {
+		case sh.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// noteDepth folds a ring occupancy observation into the high-water mark.
+func (sh *shard) noteDepth(d uint64) {
+	for {
+		cur := sh.depthHWM.Load()
+		if d <= cur || sh.depthHWM.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// Engine is the shard set plus its workers.
+type Engine struct {
+	opts   Options
+	sink   Sink
+	shards []*shard
+
+	mu     sync.Mutex // guards producer registration
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New builds and starts an engine delivering batches to sink.
+func New(sink Sink, opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{opts: opts, sink: sink, stop: make(chan struct{})}
+	e.shards = make([]*shard, opts.Shards)
+	for i := range e.shards {
+		e.shards[i] = &shard{id: i, wake: make(chan struct{}, 1)}
+	}
+	e.wg.Add(len(e.shards))
+	for _, sh := range e.shards {
+		go e.run(sh)
+	}
+	return e
+}
+
+// Shards returns the shard count — also the worker parallelism, and
+// the knob Server.AdvanceAll routes batch prediction advances through.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ShardFor returns the shard that owns sourceID. The pinning is a pure
+// FNV-1a hash, so every producer and every reader agrees on ownership
+// without coordination.
+func (e *Engine) ShardFor(sourceID string) int {
+	return int(fnv1a(sourceID) % uint64(len(e.shards)))
+}
+
+// fnv1a is an allocation-free FNV-1a over the id bytes.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Producer is one handoff lane into the engine: a private SPSC ring
+// per shard. A Producer must be used from a single goroutine at a time;
+// distinct producers (one per network reader) are fully independent.
+type Producer struct {
+	e     *Engine
+	rings []*ring
+}
+
+// Producer registers a new producer lane. Safe to call while the
+// engine is running; workers pick the new rings up on their next scan.
+func (e *Engine) Producer() *Producer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := &Producer{e: e, rings: make([]*ring, len(e.shards))}
+	for i, sh := range e.shards {
+		r := newRing(e.opts.RingSize, sh)
+		p.rings[i] = r
+		old := sh.ringList()
+		next := make([]*ring, len(old)+1)
+		copy(next, old)
+		next[len(old)] = r
+		sh.rings.Store(&next)
+	}
+	return p
+}
+
+// publish copies u into the ring slot at tail and makes it visible.
+func (r *ring) publish(t uint64, u *core.Update) {
+	s := &r.slots[t&r.mask]
+	s.sourceID = u.SourceID
+	s.seq = int64(u.Seq)
+	s.time = u.Time
+	s.bootstrap = u.Bootstrap
+	s.values = append(s.values[:0], u.Values...)
+	r.sh.offered.Add(1)
+	r.tail.Store(t + 1)
+	r.sh.noteDepth(t + 1 - r.head.Load())
+	r.sh.maybeWake()
+}
+
+// TryOffer enqueues u on shardID's ring, returning false (and counting
+// a drop) when the ring is full or the engine is closed. This is the
+// datagram path: a reader under overload sheds load rather than
+// blocking the socket.
+func (p *Producer) TryOffer(shardID int, u *core.Update) bool {
+	r := p.rings[shardID]
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.slots)) || p.e.closed.Load() {
+		r.sh.dropped.Add(1)
+		return false
+	}
+	r.publish(t, u)
+	return true
+}
+
+// Offer enqueues u, yielding until ring space frees — the in-process
+// producer path, where backpressure is preferable to loss. Returns
+// false only when the engine is closed.
+func (p *Producer) Offer(shardID int, u *core.Update) bool {
+	r := p.rings[shardID]
+	for {
+		if p.e.closed.Load() {
+			return false
+		}
+		t := r.tail.Load()
+		if t-r.head.Load() < uint64(len(r.slots)) {
+			r.publish(t, u)
+			return true
+		}
+		runtime.Gosched()
+	}
+}
+
+// drain moves up to max published updates into batch (reusing each
+// entry's Values storage) and frees their slots. Returns the count.
+func (sh *shard) drain(batch []core.Update, max int) int {
+	n := 0
+	for _, r := range sh.ringList() {
+		for n < max {
+			h := r.head.Load()
+			if h == r.tail.Load() {
+				break
+			}
+			s := &r.slots[h&r.mask]
+			dst := &batch[n]
+			dst.SourceID = s.sourceID
+			dst.Seq = int(s.seq)
+			dst.Time = s.time
+			dst.Bootstrap = s.bootstrap
+			dst.Values = append(dst.Values[:0], s.values...)
+			r.head.Store(h + 1)
+			n++
+		}
+		if n >= max {
+			break
+		}
+	}
+	return n
+}
+
+// run is the shard worker: drain, apply, park when idle.
+func (e *Engine) run(sh *shard) {
+	defer e.wg.Done()
+	batch := make([]core.Update, e.opts.BatchSize)
+	for {
+		n := sh.drain(batch, e.opts.BatchSize)
+		if n > 0 {
+			e.sink.ApplyBatch(sh.id, batch[:n])
+			sh.applied.Add(uint64(n))
+			continue
+		}
+		if e.closed.Load() {
+			// Final sweep raced a producer's last publish: loop until
+			// the rings are provably empty, then exit.
+			if sh.pending() == 0 {
+				return
+			}
+			continue
+		}
+		// Announce the nap, then re-check: a producer that published
+		// before seeing sleeping=1 is caught by the pending() check; one
+		// that published after will win the 1→0 CAS and send the token.
+		sh.sleeping.Store(1)
+		if sh.pending() > 0 || e.closed.Load() {
+			sh.sleeping.Store(0)
+			continue
+		}
+		select {
+		case <-sh.wake:
+		case <-e.stop:
+		}
+		sh.sleeping.Store(0)
+	}
+}
+
+// Quiesce blocks until every update offered so far has been applied.
+// Meaningful only once producers have stopped offering (tests, drain
+// before shutdown); with live producers it chases a moving target.
+func (e *Engine) Quiesce() {
+	for _, sh := range e.shards {
+		for sh.applied.Load() < sh.offered.Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Close drains what was already offered, stops the workers, and waits
+// them out. Offers after Close return false.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	close(e.stop)
+	e.wg.Wait()
+}
+
+// ShardStats is one shard's occupancy snapshot.
+type ShardStats struct {
+	Shard        int    `json:"shard"`
+	Offered      uint64 `json:"offered"`
+	Applied      uint64 `json:"applied"`
+	Dropped      uint64 `json:"dropped"`
+	RingDepthHWM uint64 `json:"ring_depth_hwm"`
+}
+
+// Offered returns the total updates accepted onto rings across all
+// shards. Allocation-free, so producers can poll it for flow control —
+// a datagram source that bounds sent−Offered() keeps the kernel socket
+// buffer from overflowing into silent loss.
+func (e *Engine) Offered() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.offered.Load()
+	}
+	return n
+}
+
+// Applied returns the total updates folded into filters across all
+// shards. Allocation-free, for the same polling uses as Offered.
+func (e *Engine) Applied() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.applied.Load()
+	}
+	return n
+}
+
+// Stats snapshots every shard's counters.
+func (e *Engine) Stats() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i, sh := range e.shards {
+		out[i] = ShardStats{
+			Shard:        i,
+			Offered:      sh.offered.Load(),
+			Applied:      sh.applied.Load(),
+			Dropped:      sh.dropped.Load(),
+			RingDepthHWM: sh.depthHWM.Load(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"streamkf/internal/core"
+)
+
+// recordSink captures applied updates, remembering which shard applied
+// each source and asserting batches never carry a foreign source.
+type recordSink struct {
+	mu       sync.Mutex
+	seqs     map[string][]int
+	vals     map[string][]float64
+	shardOf  map[string]int
+	mismatch []string
+}
+
+func newRecordSink() *recordSink {
+	return &recordSink{seqs: map[string][]int{}, vals: map[string][]float64{}, shardOf: map[string]int{}}
+}
+
+func (rs *recordSink) ApplyBatch(shard int, batch []core.Update) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for i := range batch {
+		u := &batch[i]
+		if prev, ok := rs.shardOf[u.SourceID]; ok && prev != shard {
+			rs.mismatch = append(rs.mismatch, fmt.Sprintf("%s applied by shards %d and %d", u.SourceID, prev, shard))
+		}
+		rs.shardOf[u.SourceID] = shard
+		rs.seqs[u.SourceID] = append(rs.seqs[u.SourceID], u.Seq)
+		rs.vals[u.SourceID] = append(rs.vals[u.SourceID], u.Values[0])
+	}
+}
+
+// blockSink parks every apply until released — for ring-full tests.
+type blockSink struct{ release chan struct{} }
+
+func (bs *blockSink) ApplyBatch(int, []core.Update) { <-bs.release }
+
+func mkUpdate(id string, seq int) core.Update {
+	return core.Update{SourceID: id, Seq: seq, Time: float64(seq), Values: []float64{float64(seq) * 0.5}}
+}
+
+func TestShardForDeterministicAndSpread(t *testing.T) {
+	sink := newRecordSink()
+	e := New(sink, Options{Shards: 8})
+	defer e.Close()
+	seen := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("src-%d", i)
+		s1, s2 := e.ShardFor(id), e.ShardFor(id)
+		if s1 != s2 {
+			t.Fatalf("ShardFor(%q) unstable: %d vs %d", id, s1, s2)
+		}
+		if s1 < 0 || s1 >= 8 {
+			t.Fatalf("ShardFor(%q) = %d out of range", id, s1)
+		}
+		seen[s1]++
+	}
+	for sh := 0; sh < 8; sh++ {
+		if seen[sh] == 0 {
+			t.Fatalf("shard %d received no sources out of 1000 — hash not spreading", sh)
+		}
+	}
+}
+
+func TestEngineSingleProducerOrdered(t *testing.T) {
+	sink := newRecordSink()
+	e := New(sink, Options{Shards: 4, RingSize: 64})
+	defer e.Close()
+	p := e.Producer()
+	const sources, per = 16, 200
+	for seq := 0; seq < per; seq++ {
+		for s := 0; s < sources; s++ {
+			id := fmt.Sprintf("src-%d", s)
+			u := mkUpdate(id, seq)
+			if !p.Offer(e.ShardFor(id), &u) {
+				t.Fatalf("Offer rejected before Close")
+			}
+		}
+	}
+	e.Quiesce()
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.mismatch) > 0 {
+		t.Fatalf("shard ownership violated: %v", sink.mismatch)
+	}
+	for s := 0; s < sources; s++ {
+		id := fmt.Sprintf("src-%d", s)
+		seqs := sink.seqs[id]
+		if len(seqs) != per {
+			t.Fatalf("%s: got %d updates, want %d", id, len(seqs), per)
+		}
+		for i, got := range seqs {
+			if got != i {
+				t.Fatalf("%s: update %d arrived with seq %d — order violated", id, i, got)
+			}
+			if want := float64(i) * 0.5; sink.vals[id][i] != want {
+				t.Fatalf("%s: seq %d carried value %v, want %v — slot reuse corrupted payload", id, i, sink.vals[id][i], want)
+			}
+		}
+	}
+}
+
+// TestEngineConcurrentProducers is the -race workhorse: several
+// producers on distinct goroutines hammer disjoint source sets while
+// workers drain. Per-source order and shard ownership must survive.
+func TestEngineConcurrentProducers(t *testing.T) {
+	sink := newRecordSink()
+	e := New(sink, Options{Shards: 4, RingSize: 32})
+	defer e.Close()
+	const producers, sourcesEach, per = 4, 8, 300
+	var wg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		p := e.Producer()
+		wg.Add(1)
+		go func(pi int, p *Producer) {
+			defer wg.Done()
+			for seq := 0; seq < per; seq++ {
+				for s := 0; s < sourcesEach; s++ {
+					id := fmt.Sprintf("p%d-src-%d", pi, s)
+					u := mkUpdate(id, seq)
+					p.Offer(e.ShardFor(id), &u)
+				}
+			}
+		}(pi, p)
+	}
+	wg.Wait()
+	e.Quiesce()
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.mismatch) > 0 {
+		t.Fatalf("shard ownership violated: %v", sink.mismatch)
+	}
+	for pi := 0; pi < producers; pi++ {
+		for s := 0; s < sourcesEach; s++ {
+			id := fmt.Sprintf("p%d-src-%d", pi, s)
+			seqs := sink.seqs[id]
+			if len(seqs) != per {
+				t.Fatalf("%s: got %d updates, want %d", id, len(seqs), per)
+			}
+			for i, got := range seqs {
+				if got != i {
+					t.Fatalf("%s: position %d has seq %d — per-source order violated", id, i, got)
+				}
+			}
+			if e.ShardFor(id) != sink.shardOf[id] {
+				t.Fatalf("%s: applied on shard %d but ShardFor says %d", id, sink.shardOf[id], e.ShardFor(id))
+			}
+		}
+	}
+}
+
+func TestEngineTryOfferShedsWhenFull(t *testing.T) {
+	bs := &blockSink{release: make(chan struct{})}
+	e := New(bs, Options{Shards: 1, RingSize: 8, BatchSize: 4})
+	p := e.Producer()
+	// Fill until the ring rejects. The worker may drain one batch into
+	// the blocked ApplyBatch, so offer enough to guarantee saturation.
+	accepted, rejected := 0, 0
+	for i := 0; i < 64; i++ {
+		u := mkUpdate("only", i)
+		if p.TryOffer(0, &u) {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatalf("expected TryOffer rejections with a blocked sink (accepted=%d)", accepted)
+	}
+	st := e.Stats()[0]
+	if st.Dropped != uint64(rejected) {
+		t.Fatalf("dropped counter = %d, want %d", st.Dropped, rejected)
+	}
+	if st.RingDepthHWM == 0 {
+		t.Fatalf("ring depth high-water mark never recorded")
+	}
+	close(bs.release)
+	e.Close()
+}
+
+func TestEngineCloseDrainsOffered(t *testing.T) {
+	sink := newRecordSink()
+	e := New(sink, Options{Shards: 2, RingSize: 256})
+	p := e.Producer()
+	const n = 500
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("src-%d", i%10)
+		u := mkUpdate(id, i/10)
+		p.Offer(e.ShardFor(id), &u)
+	}
+	e.Close()
+	sink.mu.Lock()
+	total := 0
+	for _, s := range sink.seqs {
+		total += len(s)
+	}
+	sink.mu.Unlock()
+	if total != n {
+		t.Fatalf("Close drained %d of %d offered updates", total, n)
+	}
+	u := mkUpdate("late", 0)
+	if p.Offer(e.ShardFor("late"), &u) || p.TryOffer(e.ShardFor("late"), &u) {
+		t.Fatalf("offer accepted after Close")
+	}
+}
+
+// TestEngineWakesParkedWorker ensures a worker parked on an empty ring
+// is woken by the next publish rather than spinning or hanging.
+func TestEngineWakesParkedWorker(t *testing.T) {
+	sink := newRecordSink()
+	e := New(sink, Options{Shards: 1, RingSize: 16})
+	defer e.Close()
+	p := e.Producer()
+	for round := 0; round < 5; round++ {
+		// Let the worker drain and park.
+		e.Quiesce()
+		time.Sleep(2 * time.Millisecond)
+		u := mkUpdate("ping", round)
+		p.Offer(0, &u)
+		done := make(chan struct{})
+		go func() { e.Quiesce(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: parked worker never woke", round)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Shard ingest engine integration: pins every stream to one shard
+// worker (internal/dsms/engine), which applies updates in batch and
+// group-commits the WAL — the per-update lock handoff and per-update
+// fsync disappear from the steady-state path. Cross-shard readers
+// (Answer, Stats, Streamz, StepAll) still take the per-source lock;
+// shard ownership just guarantees the ingest side of that lock is a
+// single uncontended writer.
+package dsms
+
+import (
+	"streamkf/internal/core"
+	"streamkf/internal/dsms/engine"
+	"streamkf/internal/dsms/wire"
+)
+
+// EngineOptions aliases engine.Options so callers configure the engine
+// without importing the engine package.
+type EngineOptions = engine.Options
+
+// shardLog is one shard's WAL group-commit state: applied updates are
+// encoded into the arena under the per-source lock, and the whole batch
+// is committed with one lock acquisition (and one fsync under
+// SyncAlways) after the batch finishes. Touched only by the owning
+// shard worker.
+type shardLog struct {
+	arena []byte
+	recs  [][]byte
+}
+
+// StartEngine attaches a shard-per-core ingest engine to the server and
+// returns it. Callers register producer lanes on the returned engine
+// (the UDP server does this per socket reader) and shut it down with
+// its Close. At most one engine per server; later calls return the
+// existing engine. opts.Shards <= 0 uses the same GOMAXPROCS default as
+// StepAll's worker pool.
+func (s *Server) StartEngine(opts EngineOptions) *engine.Engine {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	if s.eng != nil {
+		return s.eng
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = defaultWorkers()
+	}
+	s.shardLogs = make([]shardLog, opts.Shards)
+	e := engine.New(engineSink{s}, opts)
+	s.engIns = newEngineInstruments(s.tel.reg, e)
+	s.eng = e
+	return e
+}
+
+// Engine returns the attached ingest engine, or nil.
+func (s *Server) Engine() *engine.Engine {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	return s.eng
+}
+
+// AdvanceAll advances every stream's prediction to reading index seq
+// through StepAll's worker pool, sized by the engine's shard count when
+// an engine is attached — the shard-batched advance and the clock-tick
+// batch advance share one parallelism knob (defaultWorkers).
+func (s *Server) AdvanceAll(seq int) int {
+	workers := 0
+	if e := s.Engine(); e != nil {
+		workers = e.Shards()
+	}
+	return s.StepAll(seq, workers)
+}
+
+// engineSink adapts the server to the engine's batch interface without
+// exporting ApplyBatch on Server itself.
+type engineSink struct{ s *Server }
+
+// ApplyBatch applies one drained batch on the owning shard's worker.
+// Consecutive updates for the same source are applied as a run under a
+// single lock acquisition, and the whole batch's WAL records are
+// group-committed at the end.
+func (es engineSink) ApplyBatch(shard int, batch []core.Update) {
+	s := es.s
+	for i := 0; i < len(batch); {
+		j := i + 1
+		for j < len(batch) && batch[j].SourceID == batch[i].SourceID {
+			j++
+		}
+		s.applyRun(shard, batch[i:j])
+		i = j
+	}
+	s.commitShard(shard)
+}
+
+// applyRun folds a run of same-source updates into the stream under one
+// lock acquisition. The engine path owns the datagram-transport
+// semantics the synchronous TCP path does not need:
+//
+//   - dedup: any update with seq at or below the last applied seq is
+//     dropped (duplicated or reordered datagrams; a delayed duplicate
+//     bootstrap must not re-initialize the filter);
+//   - pre-bootstrap drops: a non-bootstrap update arriving before the
+//     stream's bootstrap is dropped — loss of the bootstrap datagram
+//     delays convergence until its retransmission, never corrupts x/P;
+//   - lazy install: a registered source's filter is installed on first
+//     contact, since a connectionless transport has no handshake moment
+//     that guarantees install-before-data.
+func (s *Server) applyRun(shard int, run []core.Update) {
+	id := run[0].SourceID
+	ins := s.engIns
+	s.mu.RLock()
+	st := s.sources[id]
+	s.mu.RUnlock()
+	if st == nil {
+		ins.unknown.Add(int64(len(run)))
+		return
+	}
+	st.mu.Lock()
+	installed := st.node != nil
+	st.mu.Unlock()
+	if !installed {
+		if _, err := s.InstallFor(id); err != nil {
+			ins.unknown.Add(int64(len(run)))
+			return
+		}
+	}
+	sl := &s.shardLogs[shard]
+	durable := s.db != nil && !s.db.replaying
+	maxSeq := -1
+	st.mu.Lock()
+	for k := range run {
+		u := &run[k]
+		if st.lastSeq >= 0 && u.Seq <= st.lastSeq {
+			ins.shardDedup[shard].Inc()
+			continue
+		}
+		if !u.Bootstrap && st.lastSeq < 0 {
+			ins.preBootstrap.Inc()
+			continue
+		}
+		if _, _, err := s.applyLocked(st, u, nil, 0); err != nil {
+			ins.rejected.Inc()
+			continue
+		}
+		maxSeq = u.Seq
+		ins.shardApplied[shard].Inc()
+		if durable {
+			// Encode into the shard arena now (under the same lock as
+			// the apply, preserving per-source record order) but commit
+			// once per batch. Sub-slices stay valid across arena growth
+			// because they pin whichever backing array they landed in.
+			start := len(sl.arena)
+			grown, err := wire.AppendUpdate(sl.arena, u)
+			if err == nil {
+				sl.arena = grown
+				sl.recs = append(sl.recs, sl.arena[start:])
+			} else {
+				ins.walErrors.Inc()
+			}
+		}
+	}
+	st.mu.Unlock()
+	if maxSeq >= 0 {
+		// The batch path coalesces post-apply hooks: one alert and
+		// subscriber evaluation per run, at the run's newest seq, rather
+		// than one per update.
+		s.checkAlerts(id, maxSeq)
+		s.notifySubscribers(id, maxSeq)
+	}
+}
+
+// commitShard group-commits the shard's pending WAL records: one log
+// lock acquisition and, under SyncAlways, one fsync for the whole
+// batch. The datagram transport sends no acks, so there is no
+// acknowledgement to hold back; a commit failure is surfaced through
+// the wal-errors counter and the stream re-converges from the next
+// updates after recovery (the same loss-tolerance the transport
+// already has).
+func (s *Server) commitShard(shard int) {
+	sl := &s.shardLogs[shard]
+	if len(sl.recs) == 0 {
+		return
+	}
+	if s.db != nil && !s.db.replaying {
+		if err := s.db.log.AppendBatch(walTagUpdate, sl.recs); err != nil {
+			s.engIns.walErrors.Inc()
+		} else {
+			s.db.sinceCkpt.Add(int64(len(sl.recs)))
+		}
+	}
+	sl.recs = sl.recs[:0]
+	sl.arena = sl.arena[:0]
+	if s.db != nil {
+		s.maybeCheckpoint()
+	}
+}
+
+// ShardStreamz is one shard's occupancy block in /streamz.
+type ShardStreamz struct {
+	Shard        int   `json:"shard"`
+	Applied      int64 `json:"applied"`
+	Dedup        int64 `json:"dedup"`
+	Dropped      int64 `json:"dropped"`
+	RingDepthHWM int64 `json:"ring_depth_hwm"`
+}
+
+// EngineStreamz is the ingest engine's status document: per-shard
+// occupancy plus the datagram transport's rx/drop taxonomy.
+type EngineStreamz struct {
+	Shards          int            `json:"shards"`
+	DatagramsRx     int64          `json:"datagrams_rx"`
+	DatagramsBad    int64          `json:"datagrams_bad"`
+	FramesRx        int64          `json:"frames_rx"`
+	PreBootstrap    int64          `json:"pre_bootstrap_dropped"`
+	UnknownSource   int64          `json:"unknown_source_dropped"`
+	Rejected        int64          `json:"rejected"`
+	WALCommitErrors int64          `json:"wal_commit_errors"`
+	PerShard        []ShardStreamz `json:"per_shard"`
+}
+
+// engineStreamz assembles the engine block, or nil without an engine.
+func (s *Server) engineStreamz() *EngineStreamz {
+	e := s.Engine()
+	if e == nil {
+		return nil
+	}
+	ins := s.engIns
+	z := &EngineStreamz{
+		Shards:          e.Shards(),
+		DatagramsRx:     ins.datagramsRx.Value(),
+		DatagramsBad:    ins.datagramsBad.Value(),
+		FramesRx:        ins.framesRx.Value(),
+		PreBootstrap:    ins.preBootstrap.Value(),
+		UnknownSource:   ins.unknown.Value(),
+		Rejected:        ins.rejected.Value(),
+		WALCommitErrors: ins.walErrors.Value(),
+	}
+	stats := e.Stats()
+	z.PerShard = make([]ShardStreamz, len(stats))
+	for i, sh := range stats {
+		z.PerShard[i] = ShardStreamz{
+			Shard:        sh.Shard,
+			Applied:      ins.shardApplied[i].Value(),
+			Dedup:        ins.shardDedup[i].Value(),
+			Dropped:      int64(sh.Dropped),
+			RingDepthHWM: int64(sh.RingDepthHWM),
+		}
+	}
+	return z
+}

@@ -101,9 +101,18 @@ func (t *TCPServer) Serve() error {
 		if err != nil {
 			t.mu.Lock()
 			closed := t.closed
+			if !closed {
+				// A listener failure outside Close must not leak the
+				// in-flight handler goroutines past Serve's return:
+				// close their connections so the handlers unwind, then
+				// wait them out exactly as the graceful path does.
+				for c := range t.conns {
+					c.Close()
+				}
+			}
 			t.mu.Unlock()
+			t.serveWG.Wait()
 			if closed {
-				t.serveWG.Wait()
 				return nil
 			}
 			return fmt.Errorf("dsms: accept: %w", err)

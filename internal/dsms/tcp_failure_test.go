@@ -287,3 +287,48 @@ func TestTCPPipelinedServerError(t *testing.T) {
 		t.Fatal("Drain succeeded after server error")
 	}
 }
+
+// TestTCPServeAcceptErrorWaitsForHandlers is the regression test for
+// Serve's non-graceful error path: when the listener dies outside
+// Close, Serve must close live connections and wait out their handler
+// goroutines before returning, not abandon them mid-flight.
+func TestTCPServeAcceptErrorWaitsForHandlers(t *testing.T) {
+	catalog := testCatalog()
+	s := NewServer(catalog)
+	mustRegister(t, s, stream.Query{ID: "q1", SourceID: "src", Delta: 1e-9, Model: "constant"})
+	ts, err := NewTCPServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- ts.Serve() }()
+
+	agent, err := DialSource(ts.Addr(), "src", catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if _, err := agent.Offer(stream.Reading{Seq: 0, Time: 0, Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the listener out from under Serve without Close: the next
+	// Accept fails with closed=false — the non-graceful path.
+	ts.ln.Close()
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("Serve returned nil for a listener failure outside Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after the listener died")
+	}
+	// Serve's return must imply every handler goroutine has unwound:
+	// each decrements the active-connections gauge in its defer.
+	if v, ok := s.Telemetry().Get("dkf_wire_connections_active"); !ok || v != 0 {
+		t.Fatalf("dkf_wire_connections_active = %v after Serve returned; handler goroutines leaked", v)
+	}
+}

@@ -2,9 +2,12 @@ package dsms
 
 import (
 	"errors"
+	"strconv"
+	"sync"
 	"time"
 
 	"streamkf/internal/core"
+	"streamkf/internal/dsms/engine"
 	"streamkf/internal/dsms/wire"
 	"streamkf/internal/telemetry"
 )
@@ -52,7 +55,21 @@ type serverTelemetry struct {
 	errBadMagic   *telemetry.Counter
 	errUnknownTag *telemetry.Counter
 	errOther      *telemetry.Counter
+
+	// Per-source instrument cardinality cap: at 100k sources, seven
+	// labeled series per source would swamp the registry and every
+	// scrape. Sources past the limit share one overflow instrument set
+	// (label source="_other") — aggregates stay correct, per-source
+	// resolution degrades gracefully.
+	srcMu       sync.Mutex
+	srcCount    int
+	srcLimit    int
+	srcOverflow *sourceInstruments
 }
+
+// DefaultSourceMetricLimit caps how many sources get individually
+// labeled metric series before falling back to the shared overflow set.
+const DefaultSourceMetricLimit = 4096
 
 func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
 	t := &serverTelemetry{reg: reg}
@@ -129,12 +146,32 @@ type sourceInstruments struct {
 	bytes      *telemetry.Counter
 	seq        *telemetry.Gauge
 	nis        *telemetry.Gauge
-	whiteness  *telemetry.Gauge
-	healthy    *telemetry.Gauge
 }
 
-// source creates (or re-fetches) the instruments for one source id.
-func (t *serverTelemetry) source(id string) *sourceInstruments {
+// source creates (or re-fetches) the instruments for one source id,
+// falling back to the shared overflow set past the cardinality cap.
+// health is the scrape-time callback behind the whiteness gauges; it
+// may be nil (the overflow set, whose sources cannot share one window).
+func (t *serverTelemetry) source(id string, health func() core.FilterHealth) *sourceInstruments {
+	t.srcMu.Lock()
+	limit := t.srcLimit
+	if limit == 0 {
+		limit = DefaultSourceMetricLimit
+	}
+	if t.srcCount >= limit {
+		if t.srcOverflow == nil {
+			t.srcOverflow = t.newSourceInstruments("_other", nil)
+		}
+		ovf := t.srcOverflow
+		t.srcMu.Unlock()
+		return ovf
+	}
+	t.srcCount++
+	t.srcMu.Unlock()
+	return t.newSourceInstruments(id, health)
+}
+
+func (t *serverTelemetry) newSourceInstruments(id string, health func() core.FilterHealth) *sourceInstruments {
 	src := telemetry.L("source", id)
 	si := &sourceInstruments{
 		updates:    t.reg.Counter("dkf_server_updates_total", "Updates folded into the server filter.", src),
@@ -142,12 +179,29 @@ func (t *serverTelemetry) source(id string) *sourceInstruments {
 		bytes:      t.reg.Counter("dkf_server_recv_bytes_total", "Update payload bytes received (wire-cost model).", src),
 		seq:        t.reg.Gauge("dkf_server_seq", "Latest reading index folded into the stream's filter.", src),
 		nis:        t.reg.Gauge("dkf_stream_nis", "Normalized innovation squared of the latest update.", src),
-		whiteness:  t.reg.Gauge("dkf_stream_whiteness", "Lag-1 autocorrelation of recent innovations (near 0 when healthy).", src),
-		healthy:    t.reg.Gauge("dkf_stream_healthy", "1 while the innovation sequence is white; 0 flags a mis-modeled stream.", src),
 	}
-	// A stream is presumed healthy until a full whiteness window says
-	// otherwise.
-	si.healthy.Set(1)
+	// The whiteness diagnostics are gauge funcs evaluated at scrape time
+	// rather than on every apply: the O(window) autocorrelation scan
+	// leaves the ingest hot path, and a scrape still reads exactly the
+	// value an eager update would have published (the window state is
+	// the same at the moment of observation). A stream is presumed
+	// healthy until a full window says otherwise; the overflow set
+	// (health == nil) reports that resting state permanently, since the
+	// streams sharing it cannot share one innovation window.
+	if health == nil {
+		health = func() core.FilterHealth { return core.FilterHealth{Healthy: true} }
+	}
+	t.reg.GaugeFunc("dkf_stream_whiteness",
+		"Lag-1 autocorrelation of recent innovations (near 0 when healthy).",
+		func() float64 { return health().Whiteness }, src)
+	t.reg.GaugeFunc("dkf_stream_healthy",
+		"1 while the innovation sequence is white; 0 flags a mis-modeled stream.",
+		func() float64 {
+			if health().Healthy {
+				return 1
+			}
+			return 0
+		}, src)
 	t.reg.GaugeFunc("dkf_server_suppression_ratio",
 		"Fraction of source readings suppressed: suppressed / (updates + suppressed).",
 		func() float64 {
@@ -161,13 +215,48 @@ func (t *serverTelemetry) source(id string) *sourceInstruments {
 	return si
 }
 
-// observeHealth publishes a filter-health snapshot to the gauges.
-func (si *sourceInstruments) observeHealth(h core.FilterHealth) {
-	if h.NISValid {
-		si.nis.Set(h.NIS)
+// engineInstruments is the shard ingest engine and datagram transport
+// instrument set: per-shard occupancy (applies, dedups, ring depth
+// high-water mark, ring-full sheds) plus the datagram rx/drop taxonomy.
+// Everything touched per update is a pre-created counter; ring stats
+// are read from the engine at scrape time via gauge funcs.
+type engineInstruments struct {
+	shardApplied []*telemetry.Counter
+	shardDedup   []*telemetry.Counter
+
+	datagramsRx  *telemetry.Counter
+	datagramsBad *telemetry.Counter
+	framesRx     *telemetry.Counter
+	preBootstrap *telemetry.Counter
+	unknown      *telemetry.Counter
+	rejected     *telemetry.Counter
+	walErrors    *telemetry.Counter
+}
+
+func newEngineInstruments(reg *telemetry.Registry, e *engine.Engine) *engineInstruments {
+	n := e.Shards()
+	ei := &engineInstruments{
+		shardApplied: make([]*telemetry.Counter, n),
+		shardDedup:   make([]*telemetry.Counter, n),
 	}
-	si.whiteness.Set(h.Whiteness)
-	si.healthy.SetBool(h.Healthy)
+	for i := 0; i < n; i++ {
+		sh := telemetry.L("shard", strconv.Itoa(i))
+		ei.shardApplied[i] = reg.Counter("dkf_engine_applied_total", "Updates applied by the shard worker, by shard.", sh)
+		ei.shardDedup[i] = reg.Counter("dkf_engine_dedup_total", "Duplicate updates (seq at or below last applied) dropped, by shard.", sh)
+		i := i
+		reg.GaugeFunc("dkf_engine_ring_depth_hwm", "High-water mark of SPSC ring occupancy, by shard.",
+			func() float64 { return float64(e.Stats()[i].RingDepthHWM) }, sh)
+		reg.GaugeFunc("dkf_engine_ring_dropped_total", "Updates shed because the shard's ring was full, by shard.",
+			func() float64 { return float64(e.Stats()[i].Dropped) }, sh)
+	}
+	ei.datagramsRx = reg.Counter("dkf_udp_datagrams_rx_total", "UDP datagrams received.")
+	ei.datagramsBad = reg.Counter("dkf_udp_datagrams_bad_total", "UDP datagrams rejected (bad preamble, malformed frame).")
+	ei.framesRx = reg.Counter("dkf_udp_frames_rx_total", "Frames decoded from UDP datagrams.")
+	ei.preBootstrap = reg.Counter("dkf_engine_pre_bootstrap_total", "Updates dropped because they arrived before their stream's bootstrap.")
+	ei.unknown = reg.Counter("dkf_engine_unknown_source_total", "Updates dropped for unregistered or uninstallable sources.")
+	ei.rejected = reg.Counter("dkf_engine_rejected_total", "Updates the filter apply rejected (stale, malformed).")
+	ei.walErrors = reg.Counter("dkf_engine_wal_errors_total", "Shard batch WAL commits that failed.")
+	return ei
 }
 
 // AgentInstruments is the source-agent instrument set: the offer/send

@@ -765,3 +765,129 @@ func DecodeError(p []byte) (msg string, err error) {
 	}
 	return string(m), nil
 }
+
+// Datagram helpers.
+//
+// A self-describing datagram is the 6-byte preamble followed by one or
+// more frames in the standard u32-LE length + u8 tag layout — byte for
+// byte the v2 stream encoding, just re-anchored at every datagram so a
+// receiver needs no connection state to parse one. The helpers below
+// build and split datagrams in caller-owned buffers; steady-state use
+// with retained capacity allocates nothing.
+
+// AppendPreamble appends the magic/version/features preamble to b.
+func AppendPreamble(b []byte, version, features byte) []byte {
+	b = append(b, Magic[:]...)
+	return append(b, version, features)
+}
+
+// CheckPreamble validates a datagram's preamble, returning its feature
+// bits and the frame bytes that follow. The version must match exactly
+// (CheckVersion); unknown feature bits are passed through for the
+// caller to ignore.
+func CheckPreamble(p []byte) (features byte, rest []byte, err error) {
+	if len(p) < preambleLen {
+		return 0, nil, fmt.Errorf("%w: short preamble", core.ErrTruncated)
+	}
+	if [4]byte(p[:4]) != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	if err := CheckVersion(p[4]); err != nil {
+		return 0, nil, err
+	}
+	return p[5], p[preambleLen:], nil
+}
+
+// BeginFrame appends a frame header placeholder for tag. The caller
+// appends the payload with the Append* helpers, then closes the frame
+// with EndFrame, passing len(b) as it was before BeginFrame.
+func BeginFrame(b []byte, tag Tag) []byte {
+	return append(b, 0, 0, 0, 0, byte(tag))
+}
+
+// EndFrame patches the length prefix of the frame opened at start.
+func EndFrame(b []byte, start int) ([]byte, error) {
+	n := uint32(len(b) - start - 4) // tag + payload
+	if n > DefaultMaxFrame {
+		return b, &FrameSizeError{Len: n, Max: DefaultMaxFrame}
+	}
+	binary.LittleEndian.PutUint32(b[start:], n)
+	return b, nil
+}
+
+// NextFrame splits the first frame off p, returning its tag, payload
+// and the remaining bytes. maxFrame <= 0 uses DefaultMaxFrame.
+func NextFrame(p []byte, maxFrame int) (tag Tag, payload, rest []byte, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if len(p) < 5 {
+		return 0, nil, nil, fmt.Errorf("%w: short frame header", core.ErrTruncated)
+	}
+	n := binary.LittleEndian.Uint32(p)
+	if n > uint32(maxFrame) {
+		return 0, nil, nil, &FrameSizeError{Len: n, Max: uint32(maxFrame)}
+	}
+	if n < 1 || len(p) < 4+int(n) {
+		return 0, nil, nil, fmt.Errorf("%w: frame length %d beyond datagram", ErrMalformed, n)
+	}
+	return Tag(p[4]), p[5 : 4+n], p[4+n:], nil
+}
+
+// AppendHelloFrame appends a complete hello frame.
+func AppendHelloFrame(b []byte, sourceID string) ([]byte, error) {
+	start := len(b)
+	b = BeginFrame(b, TagHello)
+	var err error
+	if b, err = AppendString(b, sourceID); err != nil {
+		return b, err
+	}
+	return EndFrame(b, start)
+}
+
+// AppendInstallFrame appends a complete install frame.
+func AppendInstallFrame(b []byte, inst Install) ([]byte, error) {
+	start := len(b)
+	b = BeginFrame(b, TagInstall)
+	var err error
+	if b, err = AppendString(b, inst.SourceID); err != nil {
+		return b, err
+	}
+	if b, err = AppendString(b, inst.Model); err != nil {
+		return b, err
+	}
+	b = AppendF64(b, inst.Delta)
+	b = AppendF64(b, inst.F)
+	b = AppendI64(b, inst.ResumeSeq)
+	return EndFrame(b, start)
+}
+
+// AppendUpdateFrame appends a complete update frame.
+func AppendUpdateFrame(b []byte, u *core.Update) ([]byte, error) {
+	start := len(b)
+	b = BeginFrame(b, TagUpdate)
+	var err error
+	if b, err = AppendUpdate(b, u); err != nil {
+		return b, err
+	}
+	return EndFrame(b, start)
+}
+
+// AppendErrorFrame appends a complete error frame.
+func AppendErrorFrame(b []byte, msg string) ([]byte, error) {
+	start := len(b)
+	b = BeginFrame(b, TagError)
+	var err error
+	if b, err = AppendString(b, msg); err != nil {
+		return b, err
+	}
+	return EndFrame(b, start)
+}
+
+// DecodeUpdateInto parses a standalone update payload into u with a
+// caller-supplied intern function — the datagram receiver's hook for a
+// map-based intern, where one socket multiplexes many sources and the
+// reader's single-entry cache would thrash.
+func DecodeUpdateInto(p []byte, u *core.Update, intern func([]byte) string) error {
+	return decodeUpdateBody(p, u, intern)
+}

@@ -18,10 +18,18 @@ import "fmt"
 // algorithm to the Into forms is bit-identical — the property the DKF
 // mirror-synchrony invariant depends on.
 
+// checkDst stays under the inlining budget by keeping the panic
+// formatting in a cold helper: the dimension guard runs on every kernel
+// call in the filter hot loop, where a function call per check is
+// measurable against 1x1 operands.
 func checkDst(op string, dst *Matrix, r, c int) {
 	if dst.rows != r || dst.cols != c {
-		panic(fmt.Sprintf("mat: %s destination is %dx%d, want %dx%d", op, dst.rows, dst.cols, r, c))
+		badDst(op, dst, r, c)
 	}
+}
+
+func badDst(op string, dst *Matrix, r, c int) {
+	panic(fmt.Sprintf("mat: %s destination is %dx%d, want %dx%d", op, dst.rows, dst.cols, r, c))
 }
 
 func checkNoAlias(op string, dst *Matrix, operands ...*Matrix) {
@@ -85,6 +93,17 @@ func MulInto(dst, a, b *Matrix) *Matrix {
 	}
 	checkNoAlias("MulInto", dst, a, b)
 	checkDst("MulInto", dst, a.rows, b.cols)
+	if a.rows == 1 && a.cols == 1 && b.cols == 1 {
+		// Scalar product — every matrix of the paper's one-attribute
+		// streams. The zero-operand skip mirrors the general loop below,
+		// which leaves dst at its cleared 0 rather than producing 0*NaN.
+		if av := a.data[0]; av == 0 {
+			dst.data[0] = 0
+		} else {
+			dst.data[0] = av * b.data[0]
+		}
+		return dst
+	}
 	for i := range dst.data {
 		dst.data[i] = 0
 	}

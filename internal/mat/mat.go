@@ -197,10 +197,16 @@ func AddInPlace(a, b *Matrix) *Matrix {
 	return a
 }
 
+// sameDims keeps the panic formatting in a cold helper so the guard
+// itself inlines into the element-wise kernels (see checkDst).
 func sameDims(op string, a, b *Matrix) {
 	if a.rows != b.rows || a.cols != b.cols {
-		panic(fmt.Sprintf("mat: %s dimension mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols))
+		badDims(op, a, b)
 	}
+}
+
+func badDims(op string, a, b *Matrix) {
+	panic(fmt.Sprintf("mat: %s dimension mismatch %dx%d vs %dx%d", op, a.rows, a.cols, b.rows, b.cols))
 }
 
 // Mul returns the matrix product a * b.

@@ -139,3 +139,46 @@ func Compare(model EnergyModel, readings, updates, bytesPerUpdate int, kfInstr i
 	ship := float64(readings*bytesPerUpdate*8) * perBit
 	return Comparison{DKFEnergy: dkf, ShipAllEnergy: ship}
 }
+
+// Link deterministically models the misbehavior of a datagram path —
+// the wireless-link reality behind the energy numbers above: packets
+// duplicate, reorder and vanish. All knobs are modular positions in the
+// send sequence, so a schedule is reproducible without a seed.
+type Link struct {
+	// DropEvery drops every k-th datagram (1-based position). 0
+	// disables loss.
+	DropEvery int
+	// DupEvery delivers every k-th datagram twice, the duplicate
+	// arriving immediately after the original. 0 disables duplication.
+	DupEvery int
+	// SwapEvery swaps every k-th datagram with its successor —
+	// adjacent reordering, the common form on multipath links. 0
+	// disables reordering.
+	SwapEvery int
+}
+
+// Schedule returns the delivery order for n sent datagrams as indices
+// into the send sequence: reordering permutes, duplication repeats an
+// index, loss omits one. An empty Link returns the identity schedule.
+func (l Link) Schedule(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if l.SwapEvery > 0 {
+		for i := l.SwapEvery - 1; i+1 < n; i += l.SwapEvery {
+			order[i], order[i+1] = order[i+1], order[i]
+		}
+	}
+	deliver := make([]int, 0, n)
+	for pos, idx := range order {
+		if l.DropEvery > 0 && (pos+1)%l.DropEvery == 0 {
+			continue
+		}
+		deliver = append(deliver, idx)
+		if l.DupEvery > 0 && (pos+1)%l.DupEvery == 0 {
+			deliver = append(deliver, idx)
+		}
+	}
+	return deliver
+}

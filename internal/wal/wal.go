@@ -279,6 +279,47 @@ func (l *Log) Append(tag byte, payload []byte) error {
 
 var errClosed = errors.New("wal: log is closed")
 
+// AppendBatch appends records under a single lock acquisition and, under
+// SyncAlways, a single fsync covering the whole batch — the group-commit
+// path for the shard ingest engine, which logs one record per applied
+// update but commits once per drained batch. Records land in slice
+// order; payloads may alias a caller-owned arena and are copied out
+// before return. On error, records before the failure may have been
+// written (the same partial-durability window a crash leaves, and the
+// replay path already tolerates it).
+func (l *Log) AppendBatch(tag byte, payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	for _, p := range payloads {
+		if 1+len(p) > MaxRecord {
+			return fmt.Errorf("wal: record payload of %d bytes exceeds %d", len(p), MaxRecord-1)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	for _, p := range payloads {
+		if l.size >= l.opts.SegmentBytes {
+			if err := l.rotateLocked(); err != nil {
+				return err
+			}
+		}
+		l.scratch = appendRecord(l.scratch[:0], tag, p)
+		if err := l.w.write(l.scratch); err != nil {
+			return err
+		}
+		l.size += int64(len(l.scratch))
+		l.opts.Ins.observeAppend(len(l.scratch))
+	}
+	if l.opts.Sync == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
 // Sync flushes buffered appends and fsyncs the active segment.
 func (l *Log) Sync() error {
 	l.mu.Lock()

@@ -31,7 +31,8 @@
 // implementation lives in internal packages: mat (dense matrices), kalman
 // (filter family), model (stream model catalogue), core (the DKF
 // protocol), baseline (comparison schemes), gen (workload generators),
-// dsms (the end-to-end query server with TCP transport), adapt (online
+// dsms (the end-to-end query server with TCP/UDP transports and the
+// shard-per-core ingest engine), adapt (online
 // model switching), synopsis (error-bounded stream storage), netsim
 // (sensor energy accounting), and experiments (the paper's evaluation).
 package streamkf
@@ -290,6 +291,21 @@ type (
 	QueryClient = dsms.QueryClient
 	// DialOptions tunes a RemoteAgent connection (ack window, frame cap).
 	DialOptions = dsms.DialOptions
+	// UDPServer accepts the connectionless datagram transport on one
+	// socket and feeds the shard-per-core ingest engine.
+	UDPServer = dsms.UDPServer
+	// UDPServerOptions tunes the datagram socket and the ingest engine.
+	UDPServerOptions = dsms.UDPServerOptions
+	// EngineOptions sizes the ingest engine (shard count, ring capacity).
+	EngineOptions = dsms.EngineOptions
+	// UDPAgent is a datagram-connected source agent: no acks, no resend
+	// queue — the DKF protocol's loss tolerance is the reliability layer.
+	UDPAgent = dsms.UDPAgent
+	// UDPDialOptions tunes a UDPAgent handshake.
+	UDPDialOptions = dsms.UDPDialOptions
+	// UDPBatcher multiplexes many sources' updates over one datagram
+	// socket, packing frames into shared datagrams (the fan-in shape).
+	UDPBatcher = dsms.UDPBatcher
 )
 
 // NewCatalog returns an empty model catalog.
@@ -322,6 +338,23 @@ func DialSourceOptions(addr, sourceID string, catalog *Catalog, opts DialOptions
 
 // DialQuery connects a query client to a TCP server.
 func DialQuery(addr string) (*QueryClient, error) { return dsms.DialQuery(addr) }
+
+// NewUDPServer binds the connectionless datagram transport on addr,
+// starting the server's shard ingest engine if none is attached yet.
+func NewUDPServer(server *DSMSServer, addr string, opts UDPServerOptions) (*UDPServer, error) {
+	return dsms.NewUDPServer(server, addr, opts)
+}
+
+// DialSourceUDP connects a datagram source agent to a UDP server.
+func DialSourceUDP(addr, sourceID string, catalog *Catalog, opts UDPDialOptions) (*UDPAgent, error) {
+	return dsms.DialSourceUDP(addr, sourceID, catalog, opts)
+}
+
+// DialUDPBatcher opens a batching datagram sender that multiplexes many
+// sources over one socket; flushBytes 0 selects the default packing.
+func DialUDPBatcher(addr string, flushBytes int) (*UDPBatcher, error) {
+	return dsms.DialUDPBatcher(addr, flushBytes)
+}
 
 // Aggregate continuous queries and the query language.
 type (
