@@ -23,10 +23,14 @@ bench:
 bench-net:
 	$(GO) test -run '^$$' -bench 'BenchmarkTCPIngest' -benchmem -count 3 ./internal/dsms/
 
-# Shard-engine datagram ingest: the rx->apply hot path and the
-# aggregate fan-in comparison against the per-connection TCP model (see
-# BENCH_INGEST.json for recorded before/after numbers). The 100k-source
-# scale run is `go run ./cmd/dkf-bench -fanin -sources 100000 -n 20`.
+# Shard-engine datagram ingest: the rx->apply hot path, the aggregate
+# fan-in comparison against the per-connection TCP model, and the
+# one-update-per-datagram udpgram shape whose receive syscalls the
+# reader lanes batch with recvmmsg (udpgram-unbatched pins every batch
+# knob to 1 = the pre-lane layout; see BENCH_INGEST.json for recorded
+# before/after numbers). The 100k-source scale run is
+# `go run ./cmd/dkf-bench -fanin -sources 100000 -n 20`, which also
+# takes -lanes/-rxbatch/-sendbatch/-dgram to reproduce these shapes.
 bench-ingest:
 	$(GO) test -run '^$$' -bench 'BenchmarkUDPIngest' -benchmem -count 3 ./internal/dsms/
 	$(GO) test -run '^$$' -bench 'BenchmarkIngestFanIn' -benchmem -benchtime 100000x -count 3 ./internal/dsms/

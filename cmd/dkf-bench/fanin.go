@@ -23,10 +23,14 @@ import (
 )
 
 type fanInConfig struct {
-	sources int
-	n       int // updates per source, including the bootstrap
-	shards  int
-	ring    int
+	sources   int
+	n         int // updates per source, including the bootstrap
+	shards    int
+	ring      int
+	lanes     int  // reader lanes on the socket (0 = default)
+	rxBatch   int  // datagrams per receive syscall (0 = default)
+	sendBatch int  // sealed datagrams per send syscall (0 = default)
+	dgram     bool // one update per datagram (per-source wire shape)
 }
 
 // heapInUse forces a collection and returns the live heap, so deltas
@@ -54,7 +58,9 @@ func runFanIn(cfg fanInConfig) error {
 		}
 	}
 	us, err := dsms.NewUDPServer(s, "127.0.0.1:0", dsms.UDPServerOptions{
-		Engine: dsms.EngineOptions{Shards: cfg.shards, RingSize: cfg.ring},
+		Lanes:   cfg.lanes,
+		RxBatch: cfg.rxBatch,
+		Engine:  dsms.EngineOptions{Shards: cfg.shards, RingSize: cfg.ring},
 	})
 	if err != nil {
 		return err
@@ -65,15 +71,23 @@ func runFanIn(cfg fanInConfig) error {
 	defer eng.Close()
 	registered := heapInUse()
 
-	batcher, err := dsms.DialUDPBatcher(us.Addr().String(), 0)
+	flush := 0
+	if cfg.dgram {
+		// One update per sealed datagram: the wire shape a fleet of
+		// per-source UDPAgents produces, where receive batching is the
+		// whole game (an MTU-packed batcher already amortizes the rx
+		// syscall across ~28 updates).
+		flush = 1
+	}
+	batcher, err := dsms.DialUDPBatcherOpts(us.Addr().String(), dsms.UDPBatcherOptions{FlushBytes: flush, SendBatch: cfg.sendBatch})
 	if err != nil {
 		return err
 	}
 	defer batcher.Close()
 
 	total := cfg.sources * cfg.n
-	fmt.Printf("fan-in: %d sources x %d updates = %d total, %d shard(s)\n",
-		cfg.sources, cfg.n, total, eng.Shards())
+	fmt.Printf("fan-in: %d sources x %d updates = %d total, %d shard(s), %d lane(s), dgram=%v\n",
+		cfg.sources, cfg.n, total, eng.Shards(), us.Lanes(), cfg.dgram)
 
 	// Datagrams are fire-and-forget, so the producer must flow-control
 	// itself: bound in-flight updates against the engine's APPLIED count.

@@ -104,6 +104,7 @@ func (s *Server) RegisterAlert(a Alert, fn func(AlertEvent)) error {
 		return fmt.Errorf("dsms: duplicate alert id %s", a.ID)
 	}
 	s.alerts[a.ID] = &alertState{cfg: a, fn: fn}
+	s.alertCount.Add(1)
 	for _, src := range sources {
 		s.alertsBySource[src] = append(s.alertsBySource[src], a.ID)
 	}
@@ -146,6 +147,12 @@ func (s *Server) querySources(queryID string) ([]string, error) {
 // at the given sequence number. Called after HandleUpdate releases the
 // server lock.
 func (s *Server) checkAlerts(sourceID string, seq int) {
+	if s.alertCount.Load() == 0 {
+		// No alerts anywhere: skip the lock and map probe. This runs
+		// once per applied update (or per same-source run on the engine
+		// path), so the empty case must cost one atomic load.
+		return
+	}
 	s.alertMu.Lock()
 	ids := append([]string(nil), s.alertsBySource[sourceID]...)
 	s.alertMu.Unlock()

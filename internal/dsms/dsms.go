@@ -158,11 +158,17 @@ type Server struct {
 	alertMu        sync.Mutex
 	alerts         map[string]*alertState
 	alertsBySource map[string][]string
+	// alertCount shadows len(alerts) so the post-apply hook on the
+	// ingest hot path can skip the alert lock entirely while no alerts
+	// are registered — the common case for pure-ingest servers.
+	alertCount atomic.Int32
 
 	subMu        sync.Mutex
 	subs         map[int]*subscription
 	subNext      int
 	subsBySource map[string][]int
+	// subCount shadows len(subs), for the same hot-path skip.
+	subCount atomic.Int32
 
 	winMu   sync.Mutex
 	windows map[string]WindowQuery
@@ -178,6 +184,13 @@ type Server struct {
 	eng       *engine.Engine
 	engIns    *engineInstruments
 	shardLogs []shardLog
+
+	// laneMu guards the UDP reader-lane instrument table, indexed by
+	// lane id. Lanes are registered once per id (a second UDP server on
+	// the same server shares the instruments, as the registry would
+	// dedupe them anyway). See telemetry.go and udp.go.
+	laneMu  sync.Mutex
+	laneIns []*laneInstruments
 
 	// traceOpts, guarded by mu, is non-nil while per-stream tracing is
 	// on; new and existing sources get a flight recorder built from it.
@@ -499,6 +512,28 @@ func (s *Server) Answer(queryID string, seq int) ([]float64, error) {
 // both default to it, so tuning GOMAXPROCS tunes both.
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// advanceOne brings one stream's prediction forward to reading index
+// seq, returning whether it actually advanced. This is the single
+// advance body shared by the pooled StepAll path and the shard-affine
+// path (stepAllSharded in ingest.go): both execute exactly these
+// operations under the same per-source lock, so the two paths produce
+// bit-identical trajectories by construction.
+func (s *Server) advanceOne(st *sourceState, seq int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.node == nil || st.node.Seq() >= seq {
+		return false
+	}
+	// Batch advances move the stale-update rejection boundary, so they
+	// are logged (after advancing, same lock) for exact replay; a log
+	// failure here surfaces on the next ingest append.
+	st.node.AdvanceTo(seq)
+	if s.db != nil && !s.db.replaying {
+		_ = s.db.appendAdvance(st, seq)
+	}
+	return true
+}
+
 // StepAll advances every streaming source's prediction to reading index
 // seq, fanning the per-stream filter steps over a bounded worker pool.
 // This is the batch path for a central clock tick: instead of paying one
@@ -506,6 +541,10 @@ func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // parallel. workers <= 0 uses GOMAXPROCS. It returns the number of
 // sources whose prediction actually advanced; sources without a
 // bootstrap yet, or already at or past seq, are skipped.
+//
+// Servers running the shard ingest engine should prefer AdvanceAll: this
+// pool is detached from shard ownership, so its workers contend with the
+// shard workers for the per-stream locks.
 func (s *Server) StepAll(seq, workers int) int {
 	start := nowNanos()
 	defer func() { s.tel.stepAllNs.Observe(nowNanos() - start) }()
@@ -532,19 +571,9 @@ func (s *Server) StepAll(seq, workers int) int {
 		go func() {
 			defer wg.Done()
 			for st := range work {
-				st.mu.Lock()
-				if st.node != nil && st.node.Seq() < seq {
-					// Batch advances move the stale-update rejection
-					// boundary, so they are logged (after advancing,
-					// same lock) for exact replay; a log failure here
-					// surfaces on the next ingest append.
-					st.node.AdvanceTo(seq)
+				if s.advanceOne(st, seq) {
 					advanced.Add(1)
-					if s.db != nil && !s.db.replaying {
-						_ = s.db.appendAdvance(st, seq)
-					}
 				}
-				st.mu.Unlock()
 			}
 		}()
 	}

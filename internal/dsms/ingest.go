@@ -8,6 +8,9 @@
 package dsms
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"streamkf/internal/core"
 	"streamkf/internal/dsms/engine"
 	"streamkf/internal/dsms/wire"
@@ -56,16 +59,68 @@ func (s *Server) Engine() *engine.Engine {
 	return s.eng
 }
 
-// AdvanceAll advances every stream's prediction to reading index seq
-// through StepAll's worker pool, sized by the engine's shard count when
-// an engine is attached — the shard-batched advance and the clock-tick
-// batch advance share one parallelism knob (defaultWorkers).
+// AdvanceAll advances every stream's prediction to reading index seq.
+// With an ingest engine attached, each stream advances on its owning
+// shard worker (stepAllSharded) — the advance runs where the applies
+// run, so no detached pool fights the shard workers for the per-stream
+// locks. Without an engine it falls back to StepAll's bounded pool.
+// Both paths execute the same advance body (advanceOne), so they are
+// bit-identical; TestStepAllShardedEquivalence pins it.
 func (s *Server) AdvanceAll(seq int) int {
-	workers := 0
 	if e := s.Engine(); e != nil {
-		workers = e.Shards()
+		return s.stepAllSharded(e, seq)
 	}
-	return s.StepAll(seq, workers)
+	return s.StepAll(seq, 0)
+}
+
+// stepAllSharded is the engine-affine batch advance: streams are grouped
+// by owning shard and each group advances as one task on its shard's
+// worker goroutine, serialized with that shard's applies. The per-stream
+// lock is still taken inside advanceOne — queries and scrapes read under
+// it from other goroutines — but it is uncontended on the write side,
+// because the single writer for every stream in the group is the worker
+// running the task.
+//
+// Must not be called from inside a shard worker (a sink callback would
+// wait on its own shard). The public entry points (AdvanceAll, admin)
+// only run it from outside the engine.
+func (s *Server) stepAllSharded(e *engine.Engine, seq int) int {
+	start := nowNanos()
+	defer func() { s.tel.stepAllNs.Observe(nowNanos() - start) }()
+	s.mu.RLock()
+	groups := make([][]*sourceState, e.Shards())
+	for id, st := range s.sources {
+		sh := e.ShardFor(id)
+		groups[sh] = append(groups[sh], st)
+	}
+	s.mu.RUnlock()
+	var advanced atomic.Int64
+	var wg sync.WaitGroup
+	for sh, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		group := group
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			n := int64(0)
+			for _, st := range group {
+				if s.advanceOne(st, seq) {
+					n++
+				}
+			}
+			advanced.Add(n)
+		}
+		if !e.RunOnShard(sh, task) {
+			// Engine closed under us: run the group here. Correct — the
+			// workers are gone, so there is nothing to contend with.
+			task()
+		}
+	}
+	wg.Wait()
+	s.tel.stepAllAdvanced.Add(advanced.Load())
+	return int(advanced.Load())
 }
 
 // engineSink adapts the server to the engine's batch interface without
@@ -201,8 +256,17 @@ type ShardStreamz struct {
 	RingDepthHWM int64 `json:"ring_depth_hwm"`
 }
 
+// LaneStreamz is one UDP reader lane's occupancy block in /streamz.
+type LaneStreamz struct {
+	Lane        int     `json:"lane"`
+	DatagramsRx int64   `json:"datagrams_rx"`
+	Batches     int64   `json:"batches"`
+	AvgBatch    float64 `json:"avg_batch"`
+}
+
 // EngineStreamz is the ingest engine's status document: per-shard
-// occupancy plus the datagram transport's rx/drop taxonomy.
+// occupancy plus the datagram transport's rx/drop taxonomy and, when a
+// UDP server feeds the engine, its reader lanes.
 type EngineStreamz struct {
 	Shards          int            `json:"shards"`
 	DatagramsRx     int64          `json:"datagrams_rx"`
@@ -213,6 +277,7 @@ type EngineStreamz struct {
 	Rejected        int64          `json:"rejected"`
 	WALCommitErrors int64          `json:"wal_commit_errors"`
 	PerShard        []ShardStreamz `json:"per_shard"`
+	Lanes           []LaneStreamz  `json:"lanes,omitempty"`
 }
 
 // engineStreamz assembles the engine block, or nil without an engine.
@@ -243,5 +308,26 @@ func (s *Server) engineStreamz() *EngineStreamz {
 			RingDepthHWM: int64(sh.RingDepthHWM),
 		}
 	}
+	z.Lanes = s.laneStreamz()
 	return z
+}
+
+// laneStreamz snapshots the UDP reader-lane instruments; empty without
+// a UDP server.
+func (s *Server) laneStreamz() []LaneStreamz {
+	s.laneMu.Lock()
+	defer s.laneMu.Unlock()
+	out := make([]LaneStreamz, 0, len(s.laneIns))
+	for i, li := range s.laneIns {
+		if li == nil {
+			continue
+		}
+		snap := li.batch.Snapshot()
+		ls := LaneStreamz{Lane: i, DatagramsRx: li.rx.Value(), Batches: snap.Count}
+		if snap.Count > 0 {
+			ls.AvgBatch = float64(snap.Sum) / float64(snap.Count)
+		}
+		out = append(out, ls)
+	}
+	return out
 }

@@ -224,9 +224,30 @@ func setupFanInTCP(b *testing.B, s *Server, ids []string) (func(int, *core.Updat
 }
 
 func setupFanInUDP(b *testing.B, s *Server, ids []string) (func(int, *core.Update) error, func(int), func(int)) {
-	us, err := NewUDPServer(s, "127.0.0.1:0", UDPServerOptions{
-		Engine: EngineOptions{RingSize: 8192},
-	})
+	return setupFanInUDPOpts(b, s, UDPServerOptions{Engine: EngineOptions{RingSize: 8192}}, UDPBatcherOptions{})
+}
+
+// setupFanInUDPGram is the one-update-per-datagram wire shape — what a
+// fleet of per-source UDPAgents produces, where the server-side receive
+// syscall cannot be amortized by sender-side packing. batched=false
+// pins every batch knob to 1 (single reader, one datagram per receive
+// syscall, one write per datagram: the pre-lane transport layout, kept
+// runnable so the BENCH_INGEST.json before/after stays reproducible);
+// batched=true uses the recvmmsg/sendmmsg defaults.
+func setupFanInUDPGram(batched bool) func(b *testing.B, s *Server, ids []string) (func(int, *core.Update) error, func(int), func(int)) {
+	return func(b *testing.B, s *Server, ids []string) (func(int, *core.Update) error, func(int), func(int)) {
+		sopts := UDPServerOptions{Engine: EngineOptions{RingSize: 32768}}
+		bopts := UDPBatcherOptions{FlushBytes: 1}
+		if !batched {
+			sopts.Lanes, sopts.RxBatch = 1, 1
+			bopts.SendBatch = 1
+		}
+		return setupFanInUDPOpts(b, s, sopts, bopts)
+	}
+}
+
+func setupFanInUDPOpts(b *testing.B, s *Server, sopts UDPServerOptions, bopts UDPBatcherOptions) (func(int, *core.Update) error, func(int), func(int)) {
+	us, err := NewUDPServer(s, "127.0.0.1:0", sopts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -235,7 +256,7 @@ func setupFanInUDP(b *testing.B, s *Server, ids []string) (func(int, *core.Updat
 		us.Close()
 		s.Engine().Close()
 	})
-	batcher, err := DialUDPBatcher(us.Addr().String(), 0)
+	batcher, err := DialUDPBatcherOpts(us.Addr().String(), bopts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -315,6 +336,18 @@ func BenchmarkIngestFanIn(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("udp/%d", sources), func(b *testing.B) {
 			benchIngestFanIn(b, sources, setupFanInUDP)
+		})
+	}
+	// The per-source-agent wire shape, where sender-side packing cannot
+	// amortize the server's receive syscalls — the case the reader lanes'
+	// recvmmsg batching exists for. udpgram-unbatched reproduces the
+	// pre-lane single-reader syscall pattern as the "before" side.
+	for _, sources := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("udpgram/%d", sources), func(b *testing.B) {
+			benchIngestFanIn(b, sources, setupFanInUDPGram(true))
+		})
+		b.Run(fmt.Sprintf("udpgram-unbatched/%d", sources), func(b *testing.B) {
+			benchIngestFanIn(b, sources, setupFanInUDPGram(false))
 		})
 	}
 }

@@ -52,6 +52,7 @@ func (s *Server) Subscribe(queryID string, buffer int) (ch <-chan Notification, 
 	s.subNext++
 	sub := &subscription{queryID: queryID, ch: make(chan Notification, buffer)}
 	s.subs[id] = sub
+	s.subCount.Add(1)
 	for _, src := range sources {
 		s.subsBySource[src] = append(s.subsBySource[src], id)
 	}
@@ -60,6 +61,7 @@ func (s *Server) Subscribe(queryID string, buffer int) (ch <-chan Notification, 
 		defer s.subMu.Unlock()
 		if cur, ok := s.subs[id]; ok {
 			delete(s.subs, id)
+			s.subCount.Add(-1)
 			close(cur.ch)
 		}
 	}
@@ -69,6 +71,11 @@ func (s *Server) Subscribe(queryID string, buffer int) (ch <-chan Notification, 
 // notifySubscribers pushes fresh answers for every subscription touched
 // by an update from sourceID. Called outside the server lock.
 func (s *Server) notifySubscribers(sourceID string, seq int) {
+	if s.subCount.Load() == 0 {
+		// No subscriptions anywhere: one atomic load instead of a lock
+		// and map probe per applied update.
+		return
+	}
 	s.subMu.Lock()
 	ids := append([]int(nil), s.subsBySource[sourceID]...)
 	s.subMu.Unlock()

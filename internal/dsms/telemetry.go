@@ -259,6 +259,33 @@ func newEngineInstruments(reg *telemetry.Registry, e *engine.Engine) *engineInst
 	return ei
 }
 
+// laneInstruments is one UDP reader lane's instrument set: how many
+// datagrams the lane received and how many each receive syscall
+// drained. A healthy batched receiver shows avg batch > 1 under load;
+// pinned at 1 it is either idle, portable-fallback, or syscall-bound.
+type laneInstruments struct {
+	rx    *telemetry.Counter
+	batch *telemetry.Histogram
+}
+
+// laneInstruments returns (creating on first sight) the instruments for
+// one reader lane id.
+func (s *Server) laneInstruments(lane int) *laneInstruments {
+	s.laneMu.Lock()
+	defer s.laneMu.Unlock()
+	for len(s.laneIns) <= lane {
+		s.laneIns = append(s.laneIns, nil)
+	}
+	if s.laneIns[lane] == nil {
+		l := telemetry.L("lane", strconv.Itoa(lane))
+		s.laneIns[lane] = &laneInstruments{
+			rx:    s.tel.reg.Counter("dkf_udp_lane_datagrams_rx_total", "UDP datagrams received, by reader lane.", l),
+			batch: s.tel.reg.Histogram("dkf_udp_lane_batch_size", "Datagrams drained per receive syscall, by reader lane.", l),
+		}
+	}
+	return s.laneIns[lane]
+}
+
 // AgentInstruments is the source-agent instrument set: the offer/send
 // split that realizes the paper's update suppression, plus transport
 // behavior (ack round-trips, window occupancy, drain latency) for the

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"runtime"
 	"sync"
 	"time"
 
@@ -39,45 +40,85 @@ type UDPServerOptions struct {
 	// the socket buffer is the only queue between a burst and the
 	// engine's rings, so it is sized generously.
 	ReadBuffer int
+	// Lanes is how many reader goroutines share the socket. Each lane
+	// owns its own receive arena, decode state, and engine producer, so
+	// lanes never synchronize with each other — the kernel serializes
+	// the dequeue and lanes overlap the parse/route work. 0 selects
+	// min(4, GOMAXPROCS); 1 reproduces the single-reader layout.
+	Lanes int
+	// RxBatch caps how many datagrams one receive syscall may drain
+	// (recvmmsg on Linux). 0 selects 32. Platforms without a batched
+	// receive read one datagram per call regardless.
+	RxBatch int
 	// Engine tunes the ingest engine when the server does not have one
 	// attached yet; ignored otherwise.
 	Engine EngineOptions
 }
 
+func (o UDPServerOptions) withDefaults() UDPServerOptions {
+	if o.MaxDatagram <= 0 {
+		o.MaxDatagram = 64 << 10
+	}
+	if o.ReadBuffer <= 0 {
+		o.ReadBuffer = 4 << 20
+	}
+	if o.Lanes <= 0 {
+		o.Lanes = runtime.GOMAXPROCS(0)
+		if o.Lanes > 4 {
+			o.Lanes = 4
+		}
+	}
+	if o.RxBatch <= 0 {
+		o.RxBatch = 32
+	}
+	if !mmsgAvailable {
+		// The portable read path returns one datagram per call; a batch
+		// arena deeper than 1 would just be dead memory.
+		o.RxBatch = 1
+	}
+	return o
+}
+
 // UDPServer accepts DKF datagrams on one socket and feeds the server's
-// shard ingest engine. One reader goroutine owns the socket, a reusable
-// decode state, and one engine producer lane; the steady-state receive
-// path (read, parse, intern, hand to ring) allocates nothing.
+// shard ingest engine through N reader lanes. Each lane drains whole
+// batches per syscall where the platform allows (recvmmsg on Linux) and
+// owns every piece of mutable receive state — buffer arena, decode
+// scratch, intern map, engine producer — so the steady-state receive
+// path (read batch, parse, intern, hand to ring) allocates nothing and
+// takes no lane-to-lane lock.
 type UDPServer struct {
 	server *Server
 	eng    *engine.Engine
-	prod   *engine.Producer
 	conn   *net.UDPConn
-	ins    *engineInstruments
+	lanes  []*rxLane
 
-	// Reader-goroutine state. interned maps source-id bytes to their
-	// one canonical string: a datagram socket multiplexes every source,
-	// so the stream Reader's single-entry cache would thrash.
-	buf      []byte
+	mu     sync.Mutex
+	closed bool
+}
+
+// rxLane is one reader goroutine's world. interned maps source-id bytes
+// to their one canonical string: a datagram socket multiplexes every
+// source, so the stream Reader's single-entry cache would thrash.
+type rxLane struct {
+	t        *UDPServer
+	id       int
+	rx       *laneRx
+	prod     *engine.Producer
+	ins      *engineInstruments
+	lane     *laneInstruments
+	maxDgram int
+
 	u        core.Update
 	interned map[string]string
 	internFn func([]byte) string
 	reply    []byte
-
-	mu     sync.Mutex
-	closed bool
 }
 
 // NewUDPServer binds addr ("host:port", port 0 picks a free one) and
 // attaches to server's ingest engine, starting one with opts.Engine if
 // none is attached yet. Call Serve to start receiving.
 func NewUDPServer(server *Server, addr string, opts UDPServerOptions) (*UDPServer, error) {
-	if opts.MaxDatagram <= 0 {
-		opts.MaxDatagram = 64 << 10
-	}
-	if opts.ReadBuffer <= 0 {
-		opts.ReadBuffer = 4 << 20
-	}
+	opts = opts.withDefaults()
 	uaddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dsms: udp resolve: %w", err)
@@ -89,38 +130,87 @@ func NewUDPServer(server *Server, addr string, opts UDPServerOptions) (*UDPServe
 	// Best effort: some kernels clamp SO_RCVBUF below the request.
 	_ = conn.SetReadBuffer(opts.ReadBuffer)
 	eng := server.StartEngine(opts.Engine)
-	t := &UDPServer{
-		server:   server,
-		eng:      eng,
-		prod:     eng.Producer(),
-		conn:     conn,
-		ins:      server.engIns,
-		buf:      make([]byte, opts.MaxDatagram),
-		interned: make(map[string]string),
+	t := &UDPServer{server: server, eng: eng, conn: conn}
+	t.lanes = make([]*rxLane, opts.Lanes)
+	for i := range t.lanes {
+		rx, err := newLaneRx(conn, opts.RxBatch, opts.MaxDatagram)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("dsms: udp lane %d: %w", i, err)
+		}
+		ln := &rxLane{
+			t:        t,
+			id:       i,
+			rx:       rx,
+			prod:     eng.Producer(),
+			ins:      server.engIns,
+			lane:     server.laneInstruments(i),
+			maxDgram: opts.MaxDatagram,
+			interned: make(map[string]string),
+		}
+		ln.internFn = ln.intern
+		t.lanes[i] = ln
 	}
-	t.internFn = t.intern
 	return t, nil
 }
 
 // Addr returns the bound UDP address.
 func (t *UDPServer) Addr() net.Addr { return t.conn.LocalAddr() }
 
-// Serve receives datagrams until Close. It returns nil after Close and
-// the socket error otherwise. The engine is shared and stays running —
-// shutting it down is its owner's call (Server.Engine().Close()).
+// Lanes returns how many reader lanes Serve runs.
+func (t *UDPServer) Lanes() int { return len(t.lanes) }
+
+// Serve receives datagrams until Close, running lane 0 on the calling
+// goroutine and the rest on their own. It returns nil after Close and
+// the first socket error otherwise (any lane's failure closes the
+// socket, releasing the other lanes' blocked reads). The engine is
+// shared and stays running — shutting it down is its owner's call
+// (Server.Engine().Close()).
 func (t *UDPServer) Serve() error {
-	for {
-		n, addr, err := t.conn.ReadFromUDPAddrPort(t.buf)
+	errs := make([]error, len(t.lanes))
+	var wg sync.WaitGroup
+	for i := 1; i < len(t.lanes); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = t.serveLane(t.lanes[i])
+		}(i)
+	}
+	errs[0] = t.serveLane(t.lanes[0])
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			t.mu.Lock()
-			closed := t.closed
-			t.mu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *UDPServer) serveLane(ln *rxLane) error {
+	err := ln.serve()
+	if err != nil {
+		_ = t.Close()
+	}
+	return err
+}
+
+// serve is one lane's receive loop: drain a batch, route each datagram.
+func (ln *rxLane) serve() error {
+	for {
+		n, err := ln.rx.read()
+		if err != nil {
+			ln.t.mu.Lock()
+			closed := ln.t.closed
+			ln.t.mu.Unlock()
 			if closed {
 				return nil
 			}
 			return fmt.Errorf("dsms: udp read: %w", err)
 		}
-		t.processDatagram(t.buf[:n], addr)
+		ln.lane.batch.Observe(int64(n))
+		for i := 0; i < n; i++ {
+			ln.processDatagram(ln.rx.msg(i), ln.rx.addr(i))
+		}
 	}
 }
 
@@ -138,69 +228,75 @@ func (t *UDPServer) Close() error {
 
 // intern returns the canonical string for a source-id byte slice. The
 // map lookup keyed by string(b) does not allocate; only the first
-// sighting of a source id does.
-func (t *UDPServer) intern(b []byte) string {
-	if s, ok := t.interned[string(b)]; ok {
+// sighting of a source id (per lane) does.
+func (ln *rxLane) intern(b []byte) string {
+	if s, ok := ln.interned[string(b)]; ok {
 		return s
 	}
 	s := string(b)
-	t.interned[s] = s
+	ln.interned[s] = s
 	return s
+}
+
+// processDatagram drives lane 0's parser directly — the entry point
+// tests and alloc gates use. Not safe concurrently with Serve.
+func (t *UDPServer) processDatagram(p []byte, addr netip.AddrPort) {
+	t.lanes[0].processDatagram(p, addr)
 }
 
 // processDatagram parses one datagram and routes its frames: updates go
 // to the owning shard's ring (TryOffer — under overload the ring sheds
 // rather than blocking the socket), hellos get an install reply when
 // addr is valid. Unknown tags are skipped for forward compatibility.
-// Factored off the socket loop so tests and alloc gates can drive it
-// directly.
-func (t *UDPServer) processDatagram(p []byte, addr netip.AddrPort) {
-	t.ins.datagramsRx.Inc()
+func (ln *rxLane) processDatagram(p []byte, addr netip.AddrPort) {
+	ln.ins.datagramsRx.Inc()
+	ln.lane.rx.Inc()
 	_, rest, err := wire.CheckPreamble(p)
 	if err != nil {
-		t.ins.datagramsBad.Inc()
-		t.server.tel.countWireError(err)
+		ln.ins.datagramsBad.Inc()
+		ln.t.server.tel.countWireError(err)
 		return
 	}
 	for len(rest) > 0 {
-		tag, payload, next, err := wire.NextFrame(rest, len(t.buf))
+		tag, payload, next, err := wire.NextFrame(rest, ln.maxDgram)
 		if err != nil {
-			t.ins.datagramsBad.Inc()
-			t.server.tel.countWireError(err)
+			ln.ins.datagramsBad.Inc()
+			ln.t.server.tel.countWireError(err)
 			return
 		}
-		t.ins.framesRx.Inc()
-		t.server.tel.rx(tag, len(payload)+5)
+		ln.ins.framesRx.Inc()
+		ln.t.server.tel.rx(tag, len(payload)+5)
 		switch tag {
 		case wire.TagUpdate:
-			if err := wire.DecodeUpdateInto(payload, &t.u, t.internFn); err != nil {
-				t.ins.datagramsBad.Inc()
-				t.server.tel.countWireError(err)
+			if err := wire.DecodeUpdateInto(payload, &ln.u, ln.internFn); err != nil {
+				ln.ins.datagramsBad.Inc()
+				ln.t.server.tel.countWireError(err)
 				return
 			}
-			t.prod.TryOffer(t.eng.ShardFor(t.u.SourceID), &t.u)
+			ln.prod.TryOffer(ln.t.eng.ShardFor(ln.u.SourceID), &ln.u)
 		case wire.TagHello:
-			t.handleHello(payload, addr)
+			ln.handleHello(payload, addr)
 		}
 		rest = next
 	}
 }
 
 // handleHello answers a handshake datagram with an install (or error)
-// datagram. Handshakes are rare, so this path may allocate.
-func (t *UDPServer) handleHello(payload []byte, addr netip.AddrPort) {
+// datagram. Handshakes are rare, so this path may allocate. The reply
+// buffer is lane-owned; the socket write itself is thread-safe.
+func (ln *rxLane) handleHello(payload []byte, addr netip.AddrPort) {
 	if !addr.IsValid() {
 		return
 	}
 	id, err := wire.DecodeHello(payload)
 	if err != nil {
-		t.ins.datagramsBad.Inc()
+		ln.ins.datagramsBad.Inc()
 		return
 	}
-	t.reply = wire.AppendPreamble(t.reply[:0], wire.Version, 0)
-	cfg, err := t.server.InstallFor(id)
+	ln.reply = wire.AppendPreamble(ln.reply[:0], wire.Version, 0)
+	cfg, err := ln.t.server.InstallFor(id)
 	if err != nil {
-		if t.reply, err = wire.AppendErrorFrame(t.reply, err.Error()); err != nil {
+		if ln.reply, err = wire.AppendErrorFrame(ln.reply, err.Error()); err != nil {
 			return
 		}
 	} else {
@@ -209,13 +305,13 @@ func (t *UDPServer) handleHello(payload []byte, addr netip.AddrPort) {
 			Model:     cfg.Model.Name,
 			Delta:     cfg.Delta,
 			F:         cfg.F,
-			ResumeSeq: t.server.ResumeSeq(id),
+			ResumeSeq: ln.t.server.ResumeSeq(id),
 		}
-		if t.reply, err = wire.AppendInstallFrame(t.reply, inst); err != nil {
+		if ln.reply, err = wire.AppendInstallFrame(ln.reply, inst); err != nil {
 			return
 		}
 	}
-	_, _ = t.conn.WriteToUDPAddrPort(t.reply, addr)
+	_, _ = ln.t.conn.WriteToUDPAddrPort(ln.reply, addr)
 }
 
 // UDPDialOptions configures DialSourceUDP.
@@ -416,21 +512,47 @@ func (ua *UDPAgent) Close() error { return ua.conn.Close() }
 // UDPBatcher multiplexes many sources' updates over one connected UDP
 // socket, packing update frames into shared datagrams — the 100k-source
 // fan-in shape, where per-source sockets and per-update syscalls are
-// exactly the overhead being amortized away. Safe for concurrent use;
-// a datagram is flushed when it reaches FlushBytes or on Flush.
+// exactly the overhead being amortized away. Sealed datagrams are
+// additionally batched SendBatch at a time into one transmit syscall
+// (sendmmsg on Linux). Safe for concurrent use; Flush transmits
+// everything pending, sealed or not.
 type UDPBatcher struct {
 	mu         sync.Mutex
 	conn       *net.UDPConn
-	buf        []byte
+	tx         *batchTx
+	pend       [][]byte // pend[:npend] sealed; pend[npend] open; slots reused
+	npend      int
 	flushBytes int
+	sendBatch  int
+}
+
+// UDPBatcherOptions configures DialUDPBatcherOpts.
+type UDPBatcherOptions struct {
+	// FlushBytes caps the datagram payload before the open datagram is
+	// sealed; <= 0 selects 1200 (conservatively below common path
+	// MTUs). Values below one frame (e.g. 1) seal after every update —
+	// the one-update-per-datagram shape of the per-source UDPAgent.
+	FlushBytes int
+	// SendBatch is how many sealed datagrams accumulate before one
+	// transmit syscall carries them all; <= 0 selects 16. 1 reproduces
+	// the write-per-datagram behavior.
+	SendBatch int
 }
 
 // DialUDPBatcher connects a batching sender to the server at addr.
-// flushBytes caps the datagram payload before an automatic flush; <= 0
-// selects 1200 (conservatively below common path MTUs).
+// flushBytes is UDPBatcherOptions.FlushBytes; the send batch takes its
+// default.
 func DialUDPBatcher(addr string, flushBytes int) (*UDPBatcher, error) {
-	if flushBytes <= 0 {
-		flushBytes = 1200
+	return DialUDPBatcherOpts(addr, UDPBatcherOptions{FlushBytes: flushBytes})
+}
+
+// DialUDPBatcherOpts connects a batching sender to the server at addr.
+func DialUDPBatcherOpts(addr string, opts UDPBatcherOptions) (*UDPBatcher, error) {
+	if opts.FlushBytes <= 0 {
+		opts.FlushBytes = 1200
+	}
+	if opts.SendBatch <= 0 {
+		opts.SendBatch = 16
 	}
 	uaddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -440,47 +562,85 @@ func DialUDPBatcher(addr string, flushBytes int) (*UDPBatcher, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dsms: udp dial: %w", err)
 	}
-	return &UDPBatcher{conn: conn, flushBytes: flushBytes}, nil
+	tx, err := newBatchTx(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dsms: udp dial: %w", err)
+	}
+	return &UDPBatcher{conn: conn, tx: tx, flushBytes: opts.FlushBytes, sendBatch: opts.SendBatch}, nil
 }
 
-// Send appends u's frame to the pending datagram, flushing it first if
+// curSlot returns the open datagram's slot, growing the slot table on
+// first use. Slot backing arrays are retained across transmits, so the
+// steady state allocates nothing.
+func (b *UDPBatcher) curSlot() *[]byte {
+	for len(b.pend) <= b.npend {
+		b.pend = append(b.pend, nil)
+	}
+	return &b.pend[b.npend]
+}
+
+// Send appends u's frame to the open datagram, sealing it first if
 // full. Implements core.Transport, so per-source Agents can share one
 // batcher: NewAgent(cfg, batcher).
 func (b *UDPBatcher) Send(u core.Update) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.buf) >= b.flushBytes {
-		if err := b.flushLocked(); err != nil {
+	cur := b.curSlot()
+	if len(*cur) >= b.flushBytes {
+		if err := b.sealLocked(); err != nil {
 			return err
 		}
+		cur = b.curSlot()
 	}
-	if len(b.buf) == 0 {
-		b.buf = wire.AppendPreamble(b.buf, wire.Version, 0)
+	if len(*cur) == 0 {
+		*cur = wire.AppendPreamble(*cur, wire.Version, 0)
 	}
 	var err error
-	if b.buf, err = wire.AppendUpdateFrame(b.buf, &u); err != nil {
+	if *cur, err = wire.AppendUpdateFrame(*cur, &u); err != nil {
 		return err
 	}
 	return nil
 }
 
-// Flush transmits the pending datagram, if any.
-func (b *UDPBatcher) Flush() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.flushLocked()
+// sealLocked closes the open datagram and transmits once sendBatch
+// datagrams are sealed.
+func (b *UDPBatcher) sealLocked() error {
+	if b.npend < len(b.pend) && len(b.pend[b.npend]) > 0 {
+		b.npend++
+	}
+	if b.npend >= b.sendBatch {
+		return b.transmitLocked()
+	}
+	return nil
 }
 
-func (b *UDPBatcher) flushLocked() error {
-	if len(b.buf) == 0 {
+// transmitLocked hands every sealed datagram to one batched send.
+func (b *UDPBatcher) transmitLocked() error {
+	if b.npend == 0 {
 		return nil
 	}
-	_, err := b.conn.Write(b.buf)
-	b.buf = b.buf[:0]
+	pkts := b.pend[:b.npend]
+	err := b.tx.sendAll(pkts)
+	for i := range pkts {
+		pkts[i] = pkts[i][:0]
+	}
+	b.npend = 0
 	if err != nil {
 		return fmt.Errorf("dsms: udp send: %w", err)
 	}
 	return nil
+}
+
+// Flush transmits everything pending: the open datagram is sealed and
+// the whole sealed set goes out.
+func (b *UDPBatcher) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.npend < len(b.pend) && len(b.pend[b.npend]) > 0 {
+		b.npend++
+	}
+	return b.transmitLocked()
 }
 
 // Close flushes and releases the socket.

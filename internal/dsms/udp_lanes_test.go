@@ -1,0 +1,390 @@
+package dsms
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/netip"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamkf/internal/core"
+	"streamkf/internal/gen"
+	"streamkf/internal/netsim"
+	"streamkf/internal/stream"
+)
+
+// laneQuery is the i-th source's registration for the multi-lane tests.
+func laneQuery(i int) stream.Query {
+	return stream.Query{ID: fmt.Sprintf("q-%d", i), SourceID: fmt.Sprintf("src-%d", i), Delta: 0.5, Model: "linear"}
+}
+
+func laneData(i int) []stream.Reading {
+	return gen.Ramp(240, float64(i), 1.5, 0.3, int64(17+i))
+}
+
+// newLaneServer builds a server with nSrc sources registered and a
+// multi-lane UDPServer bound to loopback.
+func newLaneServer(t testing.TB, nSrc, lanes, rxBatch int) (*Server, *UDPServer) {
+	t.Helper()
+	s := NewServer(testCatalog())
+	for i := 0; i < nSrc; i++ {
+		if err := s.Register(laneQuery(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, err := NewUDPServer(s, "127.0.0.1:0", UDPServerOptions{
+		Lanes:   lanes,
+		RxBatch: rxBatch,
+		Engine:  EngineOptions{Shards: 2, RingSize: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ts.Close()
+		s.Engine().Close()
+	})
+	if got := ts.Lanes(); got != lanes {
+		t.Fatalf("server runs %d lanes, want %d", got, lanes)
+	}
+	return s, ts
+}
+
+// TestUDPMultiLaneLossySemantics is the multi-lane transport-equivalence
+// gate: sources are assigned sticky to lanes (per-source datagram order
+// preserved, as one socket flow would be), every lane misbehaves per its
+// own netsim schedule, and all lanes parse concurrently. The state each
+// stream reaches must be bit-identical to a single-lane server fed that
+// stream's surviving subsequence in order — lanes add concurrency, never
+// new semantics. Runs under -race in CI for the lane-concurrency claim.
+func TestUDPMultiLaneLossySemantics(t *testing.T) {
+	const nSrc, lanes = 6, 3
+	links := []netsim.Link{
+		{},
+		{DupEvery: 3},
+		{SwapEvery: 4},
+		{DropEvery: 5},
+		{DropEvery: 7, DupEvery: 3, SwapEvery: 5},
+		{DupEvery: 2},
+	}
+
+	s, ts := newLaneServer(t, nSrc, lanes, 8)
+	ups := make([][]core.Update, nSrc)
+	want := make([][]core.Update, nSrc)
+	wantDedup := 0
+	// Pre-encode every source's datagrams in arrival order so the lane
+	// goroutines do nothing but deliver.
+	dgs := make([][][]byte, nSrc)
+	for i := 0; i < nSrc; i++ {
+		ups[i] = makeUpdates(t, laneQuery(i), laneData(i))
+		order := links[i].Schedule(len(ups[i]))
+		var dedup, preBoot int
+		want[i], dedup, preBoot = surviving(ups[i], order)
+		if preBoot != 0 || len(want[i]) == 0 || !want[i][0].Bootstrap {
+			t.Fatalf("src %d: schedule delayed the bootstrap", i)
+		}
+		wantDedup += dedup
+		for _, idx := range order {
+			dgs[i] = append(dgs[i], updateDatagram(t, &ups[i][idx]))
+		}
+	}
+
+	// Sticky assignment: source i always arrives on lane i%lanes. Each
+	// lane interleaves its sources round-robin — cross-source order is
+	// arbitrary, per-source order is the schedule's.
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			ln := ts.lanes[l]
+			for pos := 0; ; pos++ {
+				sent := false
+				for i := l; i < nSrc; i += lanes {
+					if pos < len(dgs[i]) {
+						ln.processDatagram(dgs[i][pos], netip.AddrPort{})
+						sent = true
+					}
+				}
+				if !sent {
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	ts.eng.Quiesce()
+	for _, sh := range ts.eng.Stats() {
+		if sh.Dropped != 0 {
+			t.Fatalf("engine shed %d updates; ring sized too small for the test", sh.Dropped)
+		}
+	}
+
+	for i := 0; i < nSrc; i++ {
+		q := laneQuery(i)
+		ref := refServer(t, q, want[i])
+		snap := nodeSnapshot(t, s, q.SourceID)
+		assertSameState(t, snap, nodeSnapshot(t, ref, q.SourceID))
+		assertFiniteState(t, snap)
+	}
+	if got := engineDedupCount(s); got != wantDedup {
+		t.Fatalf("dedup counter = %d, schedules imply %d", got, wantDedup)
+	}
+}
+
+// TestUDPLaneRxAllocFree gates a non-primary lane's steady-state receive
+// path — per-batch histogram observe, preamble check, frame walk, update
+// decode, per-lane intern, ring handoff — at zero allocations per
+// datagram. This is the per-datagram work the lane loop repeats between
+// receive syscalls; the syscall half is covered by the end-to-end lane
+// tests.
+func TestUDPLaneRxAllocFree(t *testing.T) {
+	s, ts := newLaneServer(t, 1, 2, 8)
+	_ = s
+	ln := ts.lanes[1]
+
+	boot := core.Update{SourceID: laneQuery(0).SourceID, Seq: 0, Time: 0, Values: []float64{1}, Bootstrap: true}
+	dg := updateDatagram(t, &boot)
+	ln.processDatagram(dg, netip.AddrPort{})
+	ts.eng.Quiesce()
+
+	// Replaying the bootstrap's seq exercises the full rx path into the
+	// shard's dedup drop. Warm several ring wraps first: each slot's
+	// value buffer allocates once on first use.
+	for wrap := 0; wrap < 4; wrap++ {
+		for i := 0; i < 2048; i++ {
+			ln.processDatagram(dg, netip.AddrPort{})
+		}
+		ts.eng.Quiesce()
+	}
+	n := testing.AllocsPerRun(200, func() {
+		ln.lane.batch.Observe(1)
+		ln.processDatagram(dg, netip.AddrPort{})
+	})
+	ts.eng.Quiesce()
+	if n != 0 {
+		t.Fatalf("lane rx path allocates %v/datagram, want 0", n)
+	}
+}
+
+// TestStepAllShardedEquivalence pins the tentpole's bit-identity claim
+// for batch advances: AdvanceAll on an engine-attached server (each
+// stream advanced on its owning shard worker) must leave every filter
+// bit-identical to the bounded worker-pool StepAll on an engine-less
+// server fed the same updates.
+func TestStepAllShardedEquivalence(t *testing.T) {
+	const nSrc = 5
+	ups := make([][]core.Update, nSrc)
+	for i := 0; i < nSrc; i++ {
+		ups[i] = makeUpdates(t, laneQuery(i), laneData(i))
+	}
+	build := func(withEngine bool) *Server {
+		s := NewServer(testCatalog())
+		for i := 0; i < nSrc; i++ {
+			if err := s.Register(laneQuery(i)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.InstallFor(laneQuery(i).SourceID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if withEngine {
+			s.StartEngine(EngineOptions{Shards: 2})
+		}
+		for i := 0; i < nSrc; i++ {
+			for k := range ups[i] {
+				if err := s.HandleUpdate(ups[i][k]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return s
+	}
+	sharded := build(true)
+	defer sharded.Engine().Close()
+	pooled := build(false)
+
+	target := 0
+	for i := 0; i < nSrc; i++ {
+		if last := ups[i][len(ups[i])-1].Seq; last > target {
+			target = last
+		}
+	}
+	target += 50
+
+	na := sharded.AdvanceAll(target)
+	nb := pooled.AdvanceAll(target)
+	if na != nSrc || nb != nSrc {
+		t.Fatalf("advanced %d (sharded) / %d (pooled) streams, want %d", na, nb, nSrc)
+	}
+	for i := 0; i < nSrc; i++ {
+		id := laneQuery(i).SourceID
+		assertSameState(t, nodeSnapshot(t, sharded, id), nodeSnapshot(t, pooled, id))
+	}
+	// Re-advancing to the same seq is a no-op on both paths.
+	if n := sharded.AdvanceAll(target); n != 0 {
+		t.Fatalf("second sharded AdvanceAll advanced %d streams, want 0", n)
+	}
+	if n := pooled.AdvanceAll(target); n != 0 {
+		t.Fatalf("second pooled AdvanceAll advanced %d streams, want 0", n)
+	}
+}
+
+// TestUDPLanesConcurrentAdvance exercises the whole tentpole together on
+// real sockets: multi-lane batched receive (recvmmsg where available), a
+// sendmmsg-batched UDPBatcher feeding many sources, and shard-aware
+// AdvanceAll ticking concurrently with ingest. Run under -race in CI,
+// this is the lanes-vs-StepAll interleaving gate; the assertions pin
+// that everything sent is applied and no filter corrupts.
+func TestUDPLanesConcurrentAdvance(t *testing.T) {
+	const nSrc, perSrc = 4, 200
+	s, ts := newLaneServer(t, nSrc, 2, 8)
+	go ts.Serve()
+
+	b, err := DialUDPBatcherOpts(ts.Addr().String(), UDPBatcherOptions{FlushBytes: 200, SendBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	stop := make(chan struct{})
+	var adv sync.WaitGroup
+	adv.Add(1)
+	go func() {
+		defer adv.Done()
+		seq := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.AdvanceAll(seq)
+				seq += 3
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	eng := s.Engine()
+	sent := 0
+	for seq := 0; seq < perSrc; seq++ {
+		for i := 0; i < nSrc; i++ {
+			u := core.Update{
+				SourceID:  laneQuery(i).SourceID,
+				Seq:       seq,
+				Time:      float64(seq),
+				Values:    []float64{float64(i) + 1.5*float64(seq)},
+				Bootstrap: seq == 0,
+			}
+			if err := b.Send(u); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+		// Bound sent-minus-applied so the socket buffer and rings never
+		// overflow into loss on a slow machine.
+		for eng.Applied()+1024 < uint64(sent) {
+			runtime.Gosched()
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Applied() < uint64(sent) {
+		if time.Now().After(deadline) {
+			t.Fatalf("engine applied %d of %d sent updates", eng.Applied(), sent)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	adv.Wait()
+
+	for i := 0; i < nSrc; i++ {
+		snap := nodeSnapshot(t, s, laneQuery(i).SourceID)
+		assertFiniteState(t, snap)
+		if snap.Seq < perSrc-1 {
+			t.Fatalf("src %d stopped at seq %d, want >= %d", i, snap.Seq, perSrc-1)
+		}
+	}
+
+	// Scrape surfaces: the lane counters and batch histogram must be
+	// visible in both /streamz and the Prometheus exposition.
+	z := s.Streamz()
+	if z.Engine == nil || len(z.Engine.Lanes) != 2 {
+		t.Fatalf("streamz lanes block missing or wrong size: %+v", z.Engine)
+	}
+	var laneRxTotal, batches int64
+	for _, l := range z.Engine.Lanes {
+		laneRxTotal += l.DatagramsRx
+		batches += l.Batches
+		if l.Batches > 0 && l.AvgBatch < 1 {
+			t.Fatalf("lane %d: avg batch %v < 1 with %d batches", l.Lane, l.AvgBatch, l.Batches)
+		}
+	}
+	if laneRxTotal == 0 || batches == 0 {
+		t.Fatalf("lane counters flat after e2e run: rx %d, batches %d", laneRxTotal, batches)
+	}
+	if laneRxTotal != z.Engine.DatagramsRx {
+		t.Fatalf("lane rx sums to %d, engine datagrams_rx %d", laneRxTotal, z.Engine.DatagramsRx)
+	}
+	var buf bytes.Buffer
+	s.Telemetry().WritePrometheus(&buf)
+	for _, want := range []string{"dkf_udp_lane_datagrams_rx_total", "dkf_udp_lane_batch_size", `lane="0"`, `lane="1"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Prometheus exposition missing %s", want)
+		}
+	}
+}
+
+// TestUDPBatcherSendBatchOne pins the compatibility shape: SendBatch 1
+// transmits every sealed datagram immediately (the pre-batching
+// behavior), and a tiny FlushBytes produces one update per datagram.
+func TestUDPBatcherSendBatchOne(t *testing.T) {
+	q := udpQuery()
+	s, ts := newUDPPair(t, q)
+	go ts.Serve()
+
+	b, err := DialUDPBatcherOpts(ts.Addr().String(), UDPBatcherOptions{FlushBytes: 1, SendBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := s.InstallFor(q.SourceID); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for seq := 0; seq < n; seq++ {
+		u := core.Update{SourceID: q.SourceID, Seq: seq, Time: float64(seq), Values: []float64{float64(seq)}, Bootstrap: seq == 0}
+		if err := b.Send(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	eng := s.Engine()
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Applied() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("engine applied %d of %d", eng.Applied(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// One update per datagram: the datagram counter must equal the
+	// update count (plus nothing else on this socket).
+	if z := s.Streamz(); z.Engine.DatagramsRx != n {
+		t.Fatalf("datagrams_rx = %d, want %d (one update per datagram)", z.Engine.DatagramsRx, n)
+	}
+	snap := nodeSnapshot(t, s, q.SourceID)
+	if snap.Seq != n-1 {
+		t.Fatalf("final seq %d, want %d", snap.Seq, n-1)
+	}
+	if math.IsNaN(snap.X[0]) {
+		t.Fatal("state corrupted")
+	}
+}

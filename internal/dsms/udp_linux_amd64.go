@@ -1,0 +1,6 @@
+package dsms
+
+// sysSENDMMSG is __NR_sendmmsg on linux/amd64. The syscall package's
+// frozen tables predate sendmmsg (kernel 3.0), so the number is spelled
+// here; recvmmsg made the freeze and comes from syscall.SYS_RECVMMSG.
+const sysSENDMMSG = 307

@@ -1,0 +1,5 @@
+package dsms
+
+// sysSENDMMSG is __NR_sendmmsg on linux/arm64; see udp_linux_amd64.go
+// for why it is spelled out.
+const sysSENDMMSG = 269
