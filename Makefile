@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-net bench-ingest bench-wal bench-trace fuzz check baseline profile-cpu profile-heap
+.PHONY: build test race vet bench bench-net bench-ingest bench-wal bench-trace bench-selfmon fuzz check baseline profile-cpu profile-heap
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,11 @@ bench-wal:
 bench-trace:
 	$(GO) test -run '^$$' -bench 'BenchmarkTraceRecord' -benchmem -count 3 ./internal/trace/
 	$(GO) test -run '^$$' -bench 'BenchmarkTCPIngest/(single|traced)' -benchmem -count 3 ./internal/dsms/
+
+# Self-monitoring cost: one full registry snapshot into the metrics
+# history ring (the per-tick body of -selfmon; must stay 0 allocs/op).
+bench-selfmon:
+	$(GO) test -run '^$$' -bench 'BenchmarkHistorySnapshot' -benchmem -count 3 ./internal/telemetry/history/
 
 # Short fuzz pass over the wire frame decoders, WAL replay and
 # checkpoint reader (the corpora are regenerated, not committed).

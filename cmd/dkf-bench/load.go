@@ -30,6 +30,7 @@ type loadConfig struct {
 	rate    time.Duration
 	dataDir string
 	fsync   string
+	selfmon bool
 }
 
 // startDurable spins up an embedded durable server with one query per
@@ -60,6 +61,16 @@ func startDurable(cfg loadConfig) (string, func() error, error) {
 			server.Close()
 			return "", nil, err
 		}
+	}
+	if cfg.selfmon {
+		// Self-monitoring runs off the ingest path; enabling it here lets
+		// profiles confirm the hot-path alloc budgets hold with it on.
+		mon, err := server.EnableSelfMon(dsms.SelfMonOptions{})
+		if err != nil {
+			server.Close()
+			return "", nil, err
+		}
+		mon.Start()
 	}
 	ts, err := dsms.NewTCPServer(server, "127.0.0.1:0")
 	if err != nil {

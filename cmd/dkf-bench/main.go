@@ -35,6 +35,7 @@ func main() {
 		rate       = flag.Duration("rate", 0, "inter-reading delay per agent (-load mode)")
 		dataDir    = flag.String("data-dir", "", "run the load against an embedded durable server over this directory instead of -server (-load mode)")
 		fsync      = flag.String("fsync", "interval", "WAL fsync policy for -data-dir: always|interval|off (-load mode)")
+		selfmon    = flag.Bool("selfmon", false, "enable self-monitoring on the embedded -data-dir server (-load mode)")
 		fanin      = flag.Bool("fanin", false, "drive -sources simulated sources over the datagram transport against an in-process server and report throughput + per-source memory")
 		shards     = flag.Int("shards", 0, "ingest engine shard count; 0 = GOMAXPROCS (-fanin mode)")
 		ring       = flag.Int("ring", 8192, "per-shard SPSC ring capacity (-fanin mode)")
@@ -56,7 +57,7 @@ func main() {
 	}
 
 	if *load {
-		cfg := loadConfig{server: *server, prefix: *prefix, sources: *sources, n: *n, window: *window, rate: *rate, dataDir: *dataDir, fsync: *fsync}
+		cfg := loadConfig{server: *server, prefix: *prefix, sources: *sources, n: *n, window: *window, rate: *rate, dataDir: *dataDir, fsync: *fsync, selfmon: *selfmon}
 		if err := runLoad(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "dkf-bench: %v\n", err)
 			os.Exit(1)

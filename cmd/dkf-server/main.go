@@ -30,6 +30,13 @@
 // trails and the divergence audit become queryable at /tracez and
 // /tracez/stream/{id}, and tracing sources (dkf-source -trace) ship
 // their suppression evidence alongside each update.
+//
+// With -selfmon the server watches itself: periodic registry snapshots
+// feed a metrics history ring (-history-window / -history-every tune
+// it), ~10 health signals run through the same Kalman filters the data
+// path uses, and /healthz becomes a real probe (ok|degraded|unhealthy,
+// 503 when unhealthy, JSON reasons with ?verbose=1). /statusz renders
+// the live dashboard and /metricsz serves windowed rates as JSON.
 package main
 
 import (
@@ -104,6 +111,9 @@ func main() {
 		traceOn    = flag.Bool("trace", false, "record per-update decision trails, served at /tracez")
 		traceRing  = flag.Int("trace-ring", 0, "flight-recorder ring size per stream (0 = 256 default)")
 		traceSamp  = flag.Int("trace-sample", 0, "record the routine trail for 1-in-N updates (0/1 = all; decisions are always kept)")
+		selfmon    = flag.Bool("selfmon", false, "self-monitoring: metrics history ring, Kalman-filtered health verdicts at /healthz, /statusz dashboard, /metricsz windowed rates")
+		histWindow = flag.Duration("history-window", 2*time.Minute, "metrics history retained for -selfmon windowed queries")
+		histEvery  = flag.Duration("history-every", time.Second, "registry snapshot cadence for -selfmon")
 		queries    queryFlags
 		statements stringsFlag
 	)
@@ -147,6 +157,20 @@ func main() {
 	if *traceOn {
 		server.EnableTracing(trace.Options{RingSize: *traceRing, Sample: *traceSamp})
 		logger.Info("tracing enabled", "ring", *traceRing, "sample", *traceSamp)
+	}
+	if *selfmon {
+		mon, err := server.EnableSelfMon(dsms.SelfMonOptions{
+			Window: *histWindow,
+			Every:  *histEvery,
+		})
+		if err != nil {
+			logger.Error("self-monitoring failed", "err", err)
+			os.Exit(2)
+		}
+		mon.Start()
+		logger.Info("self-monitoring enabled",
+			"window", *histWindow, "every", *histEvery,
+			"signals", len(mon.Signals()))
 	}
 	for _, q := range queries {
 		if server.HasQuery(q.ID) {

@@ -18,14 +18,18 @@ import (
 // HTTP listener, separate from the wire-protocol port, serving
 //
 //	/metrics            Prometheus text exposition of the telemetry registry
-//	/healthz            liveness probe ("ok")
+//	/healthz            health probe: ok|degraded|unhealthy (?verbose=1 for JSON reasons)
+//	/statusz            self-monitoring dashboard (HTML, sparklines, findings)
+//	/metricsz           windowed rates and quantiles from the history ring (?window=30s&name=)
 //	/streamz            JSON status: latency summaries, WAL state, per-stream records
 //	/tracez             recent trace events across streams (?source=&kind=&decision=&limit=)
 //	/tracez/stream/{id} one stream's decision trail and divergence audit
 //	/debug/pprof/*      the standard Go profiling endpoints
 //
 // Scrapes never stop the data path: every handler reads live atomics or
-// takes only the same short per-source locks queries do.
+// takes only the same short per-source locks queries do. Every response
+// carries Cache-Control: no-store — all of these documents are live
+// state, and a cached health verdict is worse than none.
 type AdminServer struct {
 	ln   net.Listener
 	srv  *http.Server
@@ -132,10 +136,9 @@ func ServeAdmin(s *Server, addr string, logger *slog.Logger) (*AdminServer, erro
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", MetricsHandler(s.Telemetry()))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("/healthz", HealthzHandler(s))
+	mux.HandleFunc("/statusz", StatuszHandler(s))
+	mux.HandleFunc("/metricsz", MetricszHandler(s))
 	mux.HandleFunc("/streamz", StreamzHandler(s))
 	mux.HandleFunc("/tracez", TracezHandler(s))
 	mux.HandleFunc("/tracez/stream/", TracezStreamHandler(s))
@@ -151,7 +154,7 @@ func ServeAdmin(s *Server, addr string, logger *slog.Logger) (*AdminServer, erro
 	}
 	a := &AdminServer{
 		ln:   ln,
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		srv:  &http.Server{Handler: noStore(mux), ReadHeaderTimeout: 10 * time.Second},
 		done: make(chan struct{}),
 	}
 	go func() {
@@ -162,6 +165,15 @@ func ServeAdmin(s *Server, addr string, logger *slog.Logger) (*AdminServer, erro
 	}()
 	logger.Info("admin endpoint listening", "addr", a.Addr())
 	return a, nil
+}
+
+// noStore wraps the admin mux so every endpoint forbids caching:
+// metrics, verdicts and traces are live state.
+func noStore(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		next.ServeHTTP(w, req)
+	})
 }
 
 // Addr returns the bound listener address.

@@ -76,6 +76,9 @@ func TestAdminEndpoints(t *testing.T) {
 		`dkf_stream_nis{source="walk"}`,
 		`dkf_stream_healthy{source="walk"} 1`,
 		"# TYPE dkf_server_stepall_ns histogram",
+		`dkf_build_info{version="dev"`,
+		"# TYPE dkf_uptime_seconds gauge",
+		"dkf_uptime_seconds",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

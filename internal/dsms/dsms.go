@@ -195,6 +195,12 @@ type Server struct {
 	// traceOpts, guarded by mu, is non-nil while per-stream tracing is
 	// on; new and existing sources get a flight recorder built from it.
 	traceOpts *trace.Options
+
+	// selfmon, guarded by selfMu, is the self-monitoring subsystem:
+	// history ring, self-stream filters, health verdict. Nil until
+	// EnableSelfMon. See selfmon.go.
+	selfMu  sync.Mutex
+	selfmon *SelfMonitor
 }
 
 // NewServer returns a server resolving models from catalog. Every

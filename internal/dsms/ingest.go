@@ -268,16 +268,22 @@ type LaneStreamz struct {
 // occupancy plus the datagram transport's rx/drop taxonomy and, when a
 // UDP server feeds the engine, its reader lanes.
 type EngineStreamz struct {
-	Shards          int            `json:"shards"`
-	DatagramsRx     int64          `json:"datagrams_rx"`
-	DatagramsBad    int64          `json:"datagrams_bad"`
-	FramesRx        int64          `json:"frames_rx"`
-	PreBootstrap    int64          `json:"pre_bootstrap_dropped"`
-	UnknownSource   int64          `json:"unknown_source_dropped"`
-	Rejected        int64          `json:"rejected"`
-	WALCommitErrors int64          `json:"wal_commit_errors"`
-	PerShard        []ShardStreamz `json:"per_shard"`
-	Lanes           []LaneStreamz  `json:"lanes,omitempty"`
+	Shards          int   `json:"shards"`
+	DatagramsRx     int64 `json:"datagrams_rx"`
+	DatagramsBad    int64 `json:"datagrams_bad"`
+	FramesRx        int64 `json:"frames_rx"`
+	PreBootstrap    int64 `json:"pre_bootstrap_dropped"`
+	UnknownSource   int64 `json:"unknown_source_dropped"`
+	Rejected        int64 `json:"rejected"`
+	WALCommitErrors int64 `json:"wal_commit_errors"`
+	// ShedRatePerSec is the ring-full shed rate over the self-monitor's
+	// rate window, summed across shards — the first-class version of
+	// the number operators used to derive from consecutive scrapes of
+	// dkf_engine_ring_dropped_total. Present only with self-monitoring
+	// enabled (the history ring supplies the time dimension).
+	ShedRatePerSec *float64       `json:"shed_rate_per_sec,omitempty"`
+	PerShard       []ShardStreamz `json:"per_shard"`
+	Lanes          []LaneStreamz  `json:"lanes,omitempty"`
 }
 
 // engineStreamz assembles the engine block, or nil without an engine.
@@ -296,6 +302,11 @@ func (s *Server) engineStreamz() *EngineStreamz {
 		UnknownSource:   ins.unknown.Value(),
 		Rejected:        ins.rejected.Value(),
 		WALCommitErrors: ins.walErrors.Value(),
+	}
+	if m := s.SelfMon(); m != nil {
+		if r, ok := m.History().Rate("dkf_engine_ring_dropped_total", m.Options().RateWindow); ok {
+			z.ShedRatePerSec = &r
+		}
 	}
 	stats := e.Stats()
 	z.PerShard = make([]ShardStreamz, len(stats))

@@ -200,6 +200,11 @@ func (s *Server) ResumeSeq(sourceID string) int64 {
 // log, making everything appended so far durable regardless of the
 // fsync policy. A non-durable server's Close is a no-op.
 func (s *Server) Close() error {
+	// Stop the self-monitor's ticker first so no snapshot races the
+	// teardown below; harmless when none is attached.
+	if m := s.SelfMon(); m != nil {
+		m.Close()
+	}
 	if s.db == nil {
 		return nil
 	}

@@ -2,6 +2,7 @@ package dsms
 
 import (
 	"errors"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -16,6 +17,10 @@ import (
 // is a single time.Since against it, so recording a timestamp never
 // allocates and survives wall-clock adjustments.
 var epoch = time.Now()
+
+// Version identifies the build in dkf_build_info and on /statusz.
+// Overridden at link time: -ldflags "-X streamkf/internal/dsms.Version=v1.2.3".
+var Version = "dev"
 
 // nowNanos returns monotonic nanoseconds since process start.
 func nowNanos() int64 { return int64(time.Since(epoch)) }
@@ -73,6 +78,12 @@ const DefaultSourceMetricLimit = 4096
 
 func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
 	t := &serverTelemetry{reg: reg}
+	// Build identity and uptime, so any scrape names the binary it came
+	// from and restarts are visible as an uptime reset.
+	reg.Gauge("dkf_build_info", "Build identity; the value is always 1.",
+		telemetry.L("version", Version), telemetry.L("goversion", runtime.Version())).Set(1)
+	reg.GaugeFunc("dkf_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(epoch).Seconds() })
 	t.stepAllNs = reg.Histogram("dkf_server_stepall_ns", "StepAll batch latency in nanoseconds.")
 	t.stepAllAdvanced = reg.Counter("dkf_server_stepall_advanced_total", "Source filters advanced by StepAll batches.")
 	t.connsTotal = reg.Counter("dkf_wire_connections_total", "TCP connections accepted.")

@@ -267,6 +267,9 @@ type Registry struct {
 	families []*family
 	byName   map[string]*family
 	byKey    map[string]*metric
+	// version counts instrument registrations, so bulk readers
+	// (SeriesSnapshot holders) can detect population changes cheaply.
+	version atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -317,6 +320,7 @@ func (r *Registry) register(name, help string, kind metricKind, labels []Label, 
 	m.labels = append([]Label(nil), labels...)
 	f.metrics = append(f.metrics, m)
 	r.byKey[k] = m
+	r.version.Add(1)
 	return m
 }
 
