@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-net bench-ingest bench-wal bench-trace bench-selfmon fuzz check baseline profile-cpu profile-heap
+.PHONY: build test race vet bench bench-net bench-ingest bench-wal bench-trace bench-selfmon bench-cluster fuzz check baseline profile-cpu profile-heap
 
 build:
 	$(GO) build ./...
@@ -52,12 +52,21 @@ bench-trace:
 bench-selfmon:
 	$(GO) test -run '^$$' -bench 'BenchmarkHistorySnapshot' -benchmem -count 3 ./internal/telemetry/history/
 
-# Short fuzz pass over the wire frame decoders, WAL replay and
-# checkpoint reader (the corpora are regenerated, not committed).
+# Cluster router cost: the per-update forwarding hop (direct vs routed
+# ingest) and cross-shard aggregate answer latency at 2 and 4 shards
+# (see BENCH_CLUSTER.json for recorded numbers).
+bench-cluster:
+	$(GO) test -run '^$$' -bench 'BenchmarkRouterForward' -benchmem -count 3 ./internal/dsms/cluster/
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterAggregateAnswer' -benchmem -count 3 ./internal/dsms/cluster/
+
+# Short fuzz pass over the wire frame decoders, WAL replay, checkpoint
+# reader and the placement ring (the corpora are regenerated, not
+# committed).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 30s ./internal/dsms/wire/
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal/
 	$(GO) test -run '^$$' -fuzz FuzzReadCheckpoint -fuzztime 15s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzRingPlacement -fuzztime 15s ./internal/dsms/cluster/
 
 # Full benchmark sweep regenerating every figure/table artefact.
 bench-all:

@@ -31,6 +31,10 @@
 // /tracez/stream/{id}, and tracing sources (dkf-source -trace) ship
 // their suppression evidence alongside each update.
 //
+// With -shard-index the server runs as one shard of a dkf-router
+// cluster: it accepts forwarded updates, answers partial aggregates,
+// and reports the cluster block on /streamz. See cmd/dkf-router.
+//
 // With -selfmon the server watches itself: periodic registry snapshots
 // feed a metrics history ring (-history-window / -history-every tune
 // it), ~10 health signals run through the same Kalman filters the data
@@ -112,6 +116,7 @@ func main() {
 		traceRing  = flag.Int("trace-ring", 0, "flight-recorder ring size per stream (0 = 256 default)")
 		traceSamp  = flag.Int("trace-sample", 0, "record the routine trail for 1-in-N updates (0/1 = all; decisions are always kept)")
 		selfmon    = flag.Bool("selfmon", false, "self-monitoring: metrics history ring, Kalman-filtered health verdicts at /healthz, /statusz dashboard, /metricsz windowed rates")
+		shardIndex = flag.Int("shard-index", -1, "shard index when serving behind dkf-router (-1 = standalone); adds the cluster block to /streamz")
 		histWindow = flag.Duration("history-window", 2*time.Minute, "metrics history retained for -selfmon windowed queries")
 		histEvery  = flag.Duration("history-every", time.Second, "registry snapshot cadence for -selfmon")
 		queries    queryFlags
@@ -128,8 +133,10 @@ func main() {
 	}
 	logger := telemetry.NewLogger(os.Stderr, level)
 
-	if len(queries) == 0 && len(statements) == 0 {
-		logger.Error("at least one -query or -cql is required")
+	// A shard behind a dkf-router may start with no local queries: the
+	// router registers them remotely over the cluster protocol.
+	if len(queries) == 0 && len(statements) == 0 && *shardIndex < 0 {
+		logger.Error("at least one -query or -cql is required (unless -shard-index is set)")
 		os.Exit(2)
 	}
 
@@ -171,6 +178,10 @@ func main() {
 		logger.Info("self-monitoring enabled",
 			"window", *histWindow, "every", *histEvery,
 			"signals", len(mon.Signals()))
+	}
+	if *shardIndex >= 0 {
+		server.SetShardInfo(*shardIndex, 0)
+		logger.Info("cluster shard mode", "shard_index", *shardIndex)
 	}
 	for _, q := range queries {
 		if server.HasQuery(q.ID) {

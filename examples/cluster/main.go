@@ -1,7 +1,8 @@
-// Cluster: the full distributed DSMS in one process — a TCP server, a
-// fleet of source agents streaming different workloads concurrently, and
-// a query client reading live answers, exactly the Figure 1 deployment
-// of the paper.
+// Cluster: a sharded DSMS behind a dkf-router, all in one process —
+// two shard servers, a consistent-hash router fronting them with the
+// unmodified source protocol, a cross-shard aggregate whose merged
+// answer is bit-identical to a single server, and a live stream
+// migration by checkpoint snapshot (DESIGN.md §17).
 //
 // Run with: go run ./examples/cluster
 package main
@@ -9,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 	"sync"
 
 	"streamkf"
@@ -16,42 +18,66 @@ import (
 
 func main() {
 	catalog := streamkf.DefaultCatalog(1)
-	server := streamkf.NewDSMSServer(catalog)
 
-	// Three continuous queries over three sources, each with its own
-	// precision constraint and model.
-	queries := []streamkf.Query{
-		{ID: "track-object", SourceID: "vehicle-7", Model: "linear2d", Delta: 3},
-		{ID: "watch-load", SourceID: "zone-b", Model: "linear", Delta: 50},
-		{ID: "watch-http", SourceID: "gateway", Model: "constant", Delta: 10, F: 1e-7},
-	}
-	for _, q := range queries {
-		if err := server.Register(q); err != nil {
+	// Two shard servers on loopback. -shard-index in the dkf-server
+	// binary does exactly this SetShardInfo call.
+	shardAddrs := make([]string, 2)
+	for i := range shardAddrs {
+		s := streamkf.NewDSMSServer(catalog)
+		s.SetShardInfo(i, 0)
+		ts, err := streamkf.NewTCPServer(s, "127.0.0.1:0")
+		if err != nil {
 			log.Fatal(err)
 		}
+		go ts.Serve()
+		defer ts.Close()
+		shardAddrs[i] = ts.Addr()
 	}
 
-	ts, err := streamkf.NewTCPServer(server, "127.0.0.1:0")
+	// The router owns the placement ring and speaks the ordinary wire
+	// protocol downstream — sources cannot tell it from a server.
+	router, err := streamkf.NewClusterRouter("127.0.0.1:0", shardAddrs, streamkf.ClusterOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	done := make(chan error, 1)
-	go func() { done <- ts.Serve() }()
-	fmt.Printf("DSMS server on %s\n\n", ts.Addr())
+	go router.Serve()
+	defer router.Close()
+	fmt.Printf("router on %s fronting shards %v\n", router.Addr(), shardAddrs)
 
-	// Each source runs its agent over TCP, concurrently.
-	workloads := map[string][]streamkf.Reading{
-		"vehicle-7": streamkf.MovingObject(streamkf.DefaultMovingObject()),
-		"zone-b":    streamkf.PowerLoad(streamkf.DefaultPowerLoad()),
-		"gateway":   streamkf.HTTPTraffic(streamkf.DefaultHTTPTraffic()),
+	// A cross-shard aggregate: mean zonal load across four zones within
+	// ±50. Each shard owning zones runs a partial at its slice of the
+	// budget; the router merges the partials bit-identically.
+	zones := []string{"zone-a", "zone-b", "zone-c", "zone-d"}
+	agg := streamkf.AggregateQuery{ID: "gridload", SourceIDs: zones, Func: streamkf.AggAvg, Delta: 50, Model: "linear"}
+	if err := router.RegisterAggregate(agg); err != nil {
+		log.Fatal(err)
 	}
+	// Plus one plain query on a stream we will migrate later.
+	if err := router.RegisterQuery(streamkf.Query{ID: "track", SourceID: "vehicle-7", Model: "linear2d", Delta: 3}); err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range append(append([]string(nil), zones...), "vehicle-7") {
+		fmt.Printf("  %-10s -> shard %d\n", id, router.Ring().Owner(id))
+	}
+
+	// Every source dials the router like any server.
+	workloads := make(map[string][]streamkf.Reading, len(zones)+1)
+	for i, id := range zones {
+		cfg := streamkf.DefaultPowerLoad()
+		cfg.N = 2000
+		cfg.Seed = int64(i + 1)
+		cfg.Base += 100 * float64(i)
+		workloads[id] = streamkf.PowerLoad(cfg)
+	}
+	workloads["vehicle-7"] = streamkf.MovingObject(streamkf.DefaultMovingObject())
+
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	for id, data := range workloads {
 		wg.Add(1)
 		go func(id string, data []streamkf.Reading) {
 			defer wg.Done()
-			agent, err := streamkf.DialSource(ts.Addr(), id, catalog)
+			agent, err := streamkf.DialSource(router.Addr(), id, catalog)
 			if err != nil {
 				log.Fatalf("%s: %v", id, err)
 			}
@@ -61,34 +87,52 @@ func main() {
 			}
 			st := agent.Stats()
 			mu.Lock()
-			fmt.Printf("source %-10s readings=%5d updates=%5d (%5.2f%%) bytes=%d\n",
-				id, st.Readings, st.Updates, 100*float64(st.Updates)/float64(st.Readings), st.BytesSent)
+			fmt.Printf("source %-10s readings=%5d updates=%5d (%5.2f%%) via shard %d\n",
+				id, st.Readings, st.Updates, 100*float64(st.Updates)/float64(st.Readings), router.Ring().Owner(id))
 			mu.Unlock()
 		}(id, data)
 	}
 	wg.Wait()
 
-	// A client asks for the current answers.
-	qc, err := streamkf.DialQuery(ts.Addr())
+	// The merged cross-shard answer, next to the ground truth.
+	lastSeq := len(workloads[zones[0]]) - 1
+	merged, err := router.AnswerAggregate("gridload", lastSeq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := 0.0
+	for _, id := range zones {
+		truth += workloads[id][lastSeq].Values[0]
+	}
+	truth /= float64(len(zones))
+	fmt.Printf("\naggregate %s = %.2f (truth %.2f, Δ=%g, |err|=%.2f)\n",
+		agg.ID, merged, truth, agg.Delta, math.Abs(merged-truth))
+
+	// Migrate the tracked vehicle to the other shard: checkpoint
+	// snapshot, restore, ResumeSeq cutover — no re-bootstrap. The pin
+	// overrides hash placement and bumps the topology epoch.
+	from := router.Ring().Owner("vehicle-7")
+	to := 1 - from
+	if err := router.Migrate("vehicle-7", to); err != nil {
+		log.Fatal(err)
+	}
+	ringz := router.RingzSnapshot()
+	fmt.Printf("migrated vehicle-7 shard %d -> %d (ring epoch %d, pins %v)\n",
+		from, to, ringz.Epoch, ringz.Pins)
+
+	// The query keeps answering from the restored filter state.
+	qc, err := streamkf.DialQuery(router.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer qc.Close()
-	fmt.Println()
-	for _, q := range queries {
-		lastSeq := len(workloads[q.SourceID]) - 1
-		ans, err := qc.Ask(q.ID, lastSeq)
-		if err != nil {
-			log.Fatal(err)
-		}
-		truth := workloads[q.SourceID][lastSeq].Values
-		fmt.Printf("query %-13s answer %v (truth %v, δ=%g)\n", q.ID, round2(ans), round2(truth), q.Delta)
-	}
-
-	ts.Close()
-	if err := <-done; err != nil {
+	vSeq := len(workloads["vehicle-7"]) - 1
+	ans, err := qc.Ask("track", vSeq)
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("query track after migration: answer %v (truth %v)\n",
+		round2(ans), round2(workloads["vehicle-7"][vSeq].Values))
 }
 
 func round2(vals []float64) []float64 {

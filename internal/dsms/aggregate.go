@@ -41,6 +41,13 @@ type AggregateQuery struct {
 	Model string
 	// F is the optional per-source smoothing factor.
 	F float64
+	// Partial marks a shard-local partial aggregate in cluster mode:
+	// this server owns only a subset of the aggregate's sources, and
+	// answers with mergeable partial state (the exact-sum expansion for
+	// sum/avg, the local extremum for min/max) instead of a finished
+	// scalar. The router merges partials across shards; see
+	// internal/dsms/cluster.
+	Partial bool
 }
 
 // Validate checks the aggregate query.
@@ -89,21 +96,17 @@ func (q AggregateQuery) PerSourceDelta() float64 {
 	return q.Delta
 }
 
-// Evaluate applies the aggregate function to per-source values.
+// Evaluate applies the aggregate function to per-source values. Sum
+// and avg use exact (order-independent, correctly rounded) summation,
+// so the answer depends only on the multiset of member values — the
+// property that lets a cluster router merge per-shard partials into an
+// answer bit-identical to a single server's (see fsum.go).
 func (q AggregateQuery) Evaluate(values []float64) float64 {
 	switch q.Func {
 	case AggSum:
-		var s float64
-		for _, v := range values {
-			s += v
-		}
-		return s
+		return exactSum(values, nil)
 	case AggAvg:
-		var s float64
-		for _, v := range values {
-			s += v
-		}
-		return s / float64(len(values))
+		return exactSum(values, nil) / float64(len(values))
 	case AggMin:
 		m := math.Inf(1)
 		for _, v := range values {
@@ -187,28 +190,188 @@ func (s *Server) dropQuery(queryID string) {
 	}
 }
 
-// AnswerAggregate evaluates the aggregate query at reading index seq:
-// every participating source's filter is advanced to seq and the
-// aggregate of the predictions is returned.
-func (s *Server) AnswerAggregate(queryID string, seq int) (float64, error) {
-	s.aggMu.Lock()
-	q, ok := s.aggregate[queryID]
-	s.aggMu.Unlock()
-	if !ok {
-		return 0, fmt.Errorf("dsms: unknown aggregate query %s", queryID)
+// aggMemo caches one aggregate's last computed answer, stamped with
+// the reading index it was computed at and the sum of its members'
+// version counters. A repeated point read of an unchanged aggregate is
+// then O(1): two atomic loads per member and no filter work, instead
+// of re-advancing and re-evaluating every member under its lock. Any
+// member mutation (update apply, batch advance, state restore) bumps
+// its version and invalidates the memo. Guarded by Server.aggMu.
+type aggMemo struct {
+	members []*sourceState // resolved once; aggregate membership is fixed at registration
+	valid   bool
+	seq     int
+	vsum    uint64
+
+	value   float64   // Evaluate over the local members
+	partial []float64 // mergeable partial: exact-sum expansion (sum/avg) or extremum (min/max)
+
+	values  []float64 // member-value scratch
+	scratch []float64 // expansion scratch
+}
+
+// versionSum folds the members' version counters — the memo's change
+// detector. Reading it before the member answers makes the memo
+// conservative: a mutation racing the computation lands a version the
+// stored stamp misses, forcing a recompute on the next read.
+func (m *aggMemo) versionSum() uint64 {
+	var v uint64
+	for _, st := range m.members {
+		v += uint64(st.version.Load())
 	}
-	values := make([]float64, 0, len(q.SourceIDs))
+	return v
+}
+
+// memoFor returns (creating on first use) the memo entry for q,
+// resolving the member source states. Caller holds aggMu.
+func (s *Server) memoFor(q AggregateQuery) (*aggMemo, error) {
+	if s.aggMemo == nil {
+		s.aggMemo = make(map[string]*aggMemo)
+	}
+	if m, ok := s.aggMemo[q.ID]; ok {
+		return m, nil
+	}
+	m := &aggMemo{members: make([]*sourceState, 0, len(q.SourceIDs))}
+	s.mu.RLock()
+	for _, src := range q.SourceIDs {
+		st := s.byQuery[q.ID+"/"+src]
+		if st == nil {
+			s.mu.RUnlock()
+			return nil, fmt.Errorf("dsms: aggregate %s: sub-query for source %s not registered", q.ID, src)
+		}
+		m.members = append(m.members, st)
+	}
+	s.mu.RUnlock()
+	s.aggMemo[q.ID] = m
+	return m, nil
+}
+
+// answerAggregateLocked serves q's answer at seq from the memo when
+// nothing changed, recomputing it otherwise. Caller holds aggMu.
+func (s *Server) answerAggregateLocked(q AggregateQuery, seq int) (*aggMemo, error) {
+	m, err := s.memoFor(q)
+	if err != nil {
+		return nil, err
+	}
+	vsum := m.versionSum()
+	if m.valid && m.seq == seq && m.vsum == vsum {
+		s.tel.aggMemoHits.Inc()
+		return m, nil
+	}
+	m.valid = false
+	m.values = m.values[:0]
 	for _, src := range q.SourceIDs {
 		vals, err := s.Answer(q.ID+"/"+src, seq)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		if len(vals) != 1 {
-			return 0, fmt.Errorf("dsms: aggregate %s: source %s is not single-attribute", queryID, src)
+			return nil, fmt.Errorf("dsms: aggregate %s: source %s is not single-attribute", q.ID, src)
 		}
-		values = append(values, vals[0])
+		m.values = append(m.values, vals[0])
 	}
-	return q.Evaluate(values), nil
+	s.tel.aggAnswers.Inc()
+	switch q.Func {
+	case AggSum, AggAvg:
+		m.scratch = m.scratch[:0]
+		for _, v := range m.values {
+			m.scratch = addToExpansion(m.scratch, v)
+		}
+		m.partial = append(m.partial[:0], m.scratch...)
+		m.value = roundExpansion(m.scratch)
+		if q.Func == AggAvg {
+			m.value /= float64(len(m.values))
+		}
+	case AggMin:
+		ext := math.Inf(1)
+		for _, v := range m.values {
+			if v < ext {
+				ext = v
+			}
+		}
+		m.partial = append(m.partial[:0], ext)
+		m.value = ext
+	default: // AggMax
+		ext := math.Inf(-1)
+		for _, v := range m.values {
+			if v > ext {
+				ext = v
+			}
+		}
+		m.partial = append(m.partial[:0], ext)
+		m.value = ext
+	}
+	m.seq, m.vsum, m.valid = seq, vsum, true
+	return m, nil
+}
+
+// AnswerAggregate evaluates the aggregate query at reading index seq:
+// every participating source's filter is advanced to seq and the
+// aggregate of the predictions is returned. Repeated reads at the same
+// seq with no intervening member changes are served from a memo in
+// O(1) (see aggMemo).
+func (s *Server) AnswerAggregate(queryID string, seq int) (float64, error) {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	q, ok := s.aggregate[queryID]
+	if !ok {
+		return 0, fmt.Errorf("dsms: unknown aggregate query %s", queryID)
+	}
+	m, err := s.answerAggregateLocked(q, seq)
+	if err != nil {
+		return 0, err
+	}
+	return m.value, nil
+}
+
+// AnswerAggregatePartial evaluates the aggregate at seq and returns
+// its mergeable partial state: for sum and avg the exact non-
+// overlapping expansion of the local sum (components whose exact sum
+// is the local sum — fold several shards' expansions together and
+// round once for the exact global sum), for min/max the single local
+// extremum. This is what a shard answers a cluster router with.
+func (s *Server) AnswerAggregatePartial(queryID string, seq int) ([]float64, error) {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	q, ok := s.aggregate[queryID]
+	if !ok {
+		return nil, fmt.Errorf("dsms: unknown aggregate query %s", queryID)
+	}
+	m, err := s.answerAggregateLocked(q, seq)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), m.partial...), nil
+}
+
+// AnswerAggregateVals is the wire-facing aggregate answer: a Partial
+// aggregate answers with its mergeable partial vector, a regular one
+// with its finished scalar.
+func (s *Server) AnswerAggregateVals(queryID string, seq int) ([]float64, error) {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	q, ok := s.aggregate[queryID]
+	if !ok {
+		return nil, fmt.Errorf("dsms: unknown aggregate query %s", queryID)
+	}
+	m, err := s.answerAggregateLocked(q, seq)
+	if err != nil {
+		return nil, err
+	}
+	if q.Partial {
+		return append([]float64(nil), m.partial...), nil
+	}
+	return []float64{m.value}, nil
+}
+
+// HasAggregate reports whether an aggregate query id is registered —
+// how a cluster router's re-registration after a shard restart is made
+// idempotent.
+func (s *Server) HasAggregate(queryID string) bool {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	_, ok := s.aggregate[queryID]
+	return ok
 }
 
 // AggregateIDs returns the registered aggregate query ids, sorted.

@@ -193,3 +193,73 @@ func TestAggregateOverTCP(t *testing.T) {
 		t.Fatalf("TCP aggregate = %v, want ~%v", ans[0], want)
 	}
 }
+
+// TestAnswerAggregateMemo pins the memo contract: a repeated point
+// read of an unchanged aggregate is served from the seq-stamped memo
+// (O(1), allocation-free) instead of re-advancing and re-evaluating
+// every member, and any member mutation or seq change invalidates it.
+func TestAnswerAggregateMemo(t *testing.T) {
+	q := AggregateQuery{ID: "memo", SourceIDs: []string{"a", "b", "c"}, Func: AggSum, Delta: 6, Model: "linear"}
+	s, data := runAggregate(t, q, []float64{1, 2, 3})
+
+	hits := func() int64 { return s.tel.aggMemoHits.Value() }
+	misses := func() int64 { return s.tel.aggAnswers.Value() }
+
+	first, err := s.AnswerAggregate(q.ID, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := hits(), misses()
+	if m0 == 0 {
+		t.Fatal("first read did not count as a computed answer")
+	}
+
+	// Repeated reads at the same seq: all memo hits, bit-identical.
+	for i := 0; i < 10; i++ {
+		again, err := s.AnswerAggregate(q.ID, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(again) != math.Float64bits(first) {
+			t.Fatalf("memoized read %v differs from computed %v", again, first)
+		}
+	}
+	if got := hits() - h0; got != 10 {
+		t.Fatalf("10 repeated reads produced %d memo hits", got)
+	}
+	if got := misses() - m0; got != 0 {
+		t.Fatalf("repeated reads recomputed %d times", got)
+	}
+
+	// The hit path does no allocation — the O(1) claim in practice.
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, err := s.AnswerAggregate(q.ID, 150); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Fatalf("memoized AnswerAggregate allocates %.1f per read, want 0", allocs)
+	}
+
+	// A different seq is a recompute.
+	h1, m1 := hits(), misses()
+	if _, err := s.AnswerAggregate(q.ID, 180); err != nil {
+		t.Fatal(err)
+	}
+	if hits() != h1 || misses() != m1+1 {
+		t.Fatal("read at a new seq was not recomputed")
+	}
+
+	// A member mutation (one applied update) invalidates the memo even
+	// at the same seq.
+	upd := core.Update{SourceID: "a", Seq: 199, Time: data["a"][199].Time, Values: []float64{1234.5}}
+	if err := s.HandleUpdate(upd); err != nil {
+		t.Fatal(err)
+	}
+	h2, m2 := hits(), misses()
+	if _, err := s.AnswerAggregate(q.ID, 180); err != nil {
+		t.Fatal(err)
+	}
+	if hits() != h2 || misses() != m2+1 {
+		t.Fatal("member mutation did not invalidate the memo")
+	}
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"streamkf/internal/dsms"
+)
+
+// Router admin endpoints, mirroring the shard server's admin surface
+// (internal/dsms/admin.go): /metrics for scrapes, /healthz for
+// liveness, /ringz for the placement picture, pprof for profiles.
+
+// Ringz is the /ringz document: the topology as this router sees it.
+type Ringz struct {
+	Epoch      int64          `json:"epoch"`
+	VNodes     int            `json:"vnodes"`
+	Shards     []RingzShard   `json:"shards"`
+	Pins       map[string]int `json:"pins,omitempty"`
+	Routes     int            `json:"routes"`
+	Aggregates []string       `json:"aggregates,omitempty"`
+}
+
+// RingzShard is one shard's row in /ringz.
+type RingzShard struct {
+	Index int    `json:"index"`
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+}
+
+// RingzSnapshot builds the /ringz document.
+func (r *Router) RingzSnapshot() Ringz {
+	r.ring.mu.RLock()
+	z := Ringz{Epoch: r.ring.epoch, VNodes: r.ring.vnodes}
+	if len(r.ring.pins) > 0 {
+		z.Pins = make(map[string]int, len(r.ring.pins))
+		for id, s := range r.ring.pins {
+			z.Pins[id] = s
+		}
+	}
+	r.ring.mu.RUnlock()
+	for _, up := range r.upstreams {
+		up.mu.Lock()
+		z.Shards = append(z.Shards, RingzShard{Index: up.shard, Addr: up.addr, Alive: up.alive})
+		up.mu.Unlock()
+	}
+	r.routeMu.RLock()
+	z.Routes = len(r.byIdx)
+	r.routeMu.RUnlock()
+	r.regMu.Lock()
+	for id := range r.aggs {
+		z.Aggregates = append(z.Aggregates, id)
+	}
+	r.regMu.Unlock()
+	return z
+}
+
+// RingzHandler serves the topology as JSON.
+func RingzHandler(r *Router) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.RingzSnapshot())
+	}
+}
+
+// AdminServer is the router's admin HTTP listener.
+type AdminServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Addr returns the admin listener's address.
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close shuts the admin server down.
+func (a *AdminServer) Close() error {
+	err := a.srv.Close()
+	<-a.done
+	return err
+}
+
+// ServeAdmin starts the router admin mux on addr.
+func ServeAdmin(r *Router, addr string, logger *slog.Logger) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	noStore := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Cache-Control", "no-store")
+			h(w, req)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", noStore(dsms.MetricsHandler(r.Telemetry())))
+	mux.HandleFunc("/ringz", noStore(RingzHandler(r)))
+	mux.HandleFunc("/healthz", noStore(func(w http.ResponseWriter, req *http.Request) {
+		for _, up := range r.upstreams {
+			up.mu.Lock()
+			alive := up.alive
+			up.mu.Unlock()
+			if !alive {
+				http.Error(w, "upstream shard down", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	a := &AdminServer{ln: ln, srv: srv, done: make(chan struct{})}
+	go func() {
+		defer close(a.done)
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && logger != nil {
+			logger.Error("router admin server", "err", err)
+		}
+	}()
+	return a, nil
+}

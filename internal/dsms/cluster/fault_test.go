@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"streamkf/internal/dsms"
+	"streamkf/internal/gen"
+	"streamkf/internal/netsim"
+	"streamkf/internal/stream"
+	"streamkf/internal/wal"
+)
+
+// TestClusterShardCrashRecovery kills a durable shard mid-ingest,
+// restarts it from its WAL on the same address, resynchronises it
+// through the router (replaying the unacked forward window from the
+// shard's recovered ResumeSeq), finishes the workload, and requires
+// the merged cross-shard aggregate to match a single server that never
+// crashed — bit for bit. The workload interleave is scheduled through
+// netsim.Link so the source ordering (including bursts from duplicated
+// slots and adjacent swaps) is deterministic and reproducible.
+func TestClusterShardCrashRecovery(t *testing.T) {
+	const nSources = 4
+	const steps = 300
+	sources := make([]string, nSources)
+	data := make(map[string][]stream.Reading, nSources)
+	for i := range sources {
+		sources[i] = fmt.Sprintf("node-%d", i)
+		data[sources[i]] = gen.Ramp(steps, float64(2+i), 1.2+0.2*float64(i), 0.9, int64(13+i))
+	}
+	agg := dsms.AggregateQuery{ID: "grid", SourceIDs: sources, Func: dsms.AggSum, Delta: 5, Model: "linear"}
+
+	// Reference: a single server that never crashes.
+	single := dsms.NewServer(testCatalog())
+	if err := single.RegisterAggregate(agg); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := dsms.NewTCPServer(single, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ts.Serve()
+	defer ts.Close()
+	want := driveTCP(t, ts.Addr(), "grid", data, []int{steps - 1})
+
+	// Cluster: shard 0 in-memory, shard 1 durable (the one we crash).
+	shard0 := dsms.NewServer(testCatalog())
+	addr0 := startShard(t, shard0, 0).Addr()
+	dir := t.TempDir()
+	openDurable := func() *dsms.Server {
+		s, err := dsms.Open(testCatalog(), dir, dsms.DurabilityOptions{Sync: wal.SyncAlways})
+		if err != nil {
+			t.Fatalf("open durable shard: %v", err)
+		}
+		return s
+	}
+	shard1 := openDurable()
+	shard1.SetShardInfo(1, 0)
+	ts1, err := dsms.NewTCPServer(shard1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ts1.Serve()
+	addr1 := ts1.Addr()
+
+	router, err := NewRouter("127.0.0.1:0", []string{addr0, addr1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go router.Serve()
+	defer router.Close()
+	if err := router.RegisterAggregate(agg); err != nil {
+		t.Fatal(err)
+	}
+	// The crash only matters if shard 1 owns someone.
+	onCrashed := 0
+	for _, id := range sources {
+		if router.Ring().Owner(id) == 1 {
+			onCrashed++
+		}
+	}
+	if onCrashed == 0 || onCrashed == nSources {
+		t.Fatalf("degenerate placement: %d of %d sources on the crashing shard", onCrashed, nSources)
+	}
+
+	catalog := testCatalog()
+	agents := make(map[string]*dsms.RemoteAgent, nSources)
+	for _, id := range sources {
+		a, err := dsms.DialSource(router.Addr(), id, catalog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		agents[id] = a
+	}
+
+	// Deterministic interleave: every slot in the schedule advances one
+	// source by one reading; duplicated slots burst a source twice in a
+	// row, swapped slots flip which source goes first. Dropped slots are
+	// made up at the end so every reading is delivered exactly once.
+	schedule := netsim.Link{DropEvery: 11, DupEvery: 7, SwapEvery: 5}.Schedule(nSources * steps)
+	next := make(map[string]int, nSources)
+	crashAt := len(schedule) / 2
+	inWindow := make(map[string]int, nSources) // offers while the shard is down
+	down := false
+
+	offer := func(id string) {
+		i := next[id]
+		if i >= steps {
+			return
+		}
+		// While the durable shard is down its routes get no acks; stay
+		// inside the source send window so Offer never blocks.
+		if down && router.Ring().Owner(id) == 1 {
+			if inWindow[id] >= dsms.DefaultWindow/2 {
+				return
+			}
+			inWindow[id]++
+		}
+		if _, err := agents[id].Offer(data[id][i]); err != nil {
+			t.Fatalf("offer %s[%d]: %v", id, i, err)
+		}
+		next[id] = i + 1
+	}
+
+	for pos, slot := range schedule {
+		if pos == crashAt {
+			// Settle every in-flight update first: the crash drops any
+			// acks still on the wire, and un-acked pre-crash updates
+			// plus the bounded downtime offers below must together stay
+			// inside the source send window or Offer deadlocks.
+			for id, a := range agents {
+				if err := a.Drain(); err != nil {
+					t.Fatalf("drain %s before crash: %v", id, err)
+				}
+			}
+			// Kill the durable shard mid-ingest: close the listener and
+			// the server (final checkpoint lands in the WAL dir).
+			ts1.Close()
+			if err := shard1.Close(); err != nil {
+				t.Fatalf("crash close: %v", err)
+			}
+			down = true
+		}
+		offer(sources[slot%nSources])
+	}
+
+	// Restart the shard from its WAL on the same address and resync.
+	shard1 = openDurable()
+	shard1.SetShardInfo(1, 0)
+	ts1b, err := dsms.NewTCPServerOptions(shard1, addr1, dsms.ServerOptions{})
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addr1, err)
+	}
+	go ts1b.Serve()
+	defer ts1b.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err = router.ReconnectShard(1); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reconnect: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	down = false
+
+	// Finish the workload (including everything the schedule dropped or
+	// the downtime window deferred).
+	for _, id := range sources {
+		for next[id] < steps {
+			offer(id)
+		}
+	}
+	for id, a := range agents {
+		if err := a.Drain(); err != nil {
+			t.Fatalf("drain %s after recovery: %v", id, err)
+		}
+	}
+
+	qc, err := dsms.DialQuery(router.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+	ans, err := qc.Ask("grid", steps-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, [][]float64{ans}, want, "crash recovery")
+}

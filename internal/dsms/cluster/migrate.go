@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"streamkf/internal/dsms/wire"
+)
+
+// Live stream migration. The sequence, with the route lock held end to
+// end so no forward can slip between the snapshot and the cutover:
+//
+//  1. Snapshot RPC to the old shard. The RPC's flush pushes every
+//     buffered forward ahead of it (FIFO per upstream), so the snapshot
+//     — the checkpoint encoding of the stream's queries, counters and
+//     filter state — covers everything the router ever forwarded. The
+//     old shard marks the stream released and rejects later forwards.
+//  2. Restore RPC installs the snapshot on the target, which replies
+//     StateAck(resumeSeq): the last update seq its adopted state
+//     covers. On a durable target the state is checkpointed before the
+//     ack, so a crash after this point recovers the stream.
+//  3. Cutover: pending forwards at or below resumeSeq are acked
+//     through to the source (they are inside the transferred state);
+//     the rest are re-forwarded to the target, which resumes the
+//     filter pair from the snapshot — no re-bootstrap, no dropped
+//     acked update. The ring pins the stream to the target so future
+//     placement (queries, reconnects) agrees.
+//
+// The source notices nothing: its connection, its install, and its
+// cumulative ack stream are all continuous.
+
+// Migrate moves sourceID's stream to the target shard.
+func (r *Router) Migrate(sourceID string, target int) error {
+	if target < 0 || target >= len(r.upstreams) {
+		return fmt.Errorf("cluster: no shard %d", target)
+	}
+	// Migrating a member of a registered aggregate would strand its
+	// shard-local partial (the aggregate split is fixed at registration);
+	// refuse rather than silently double-count.
+	r.regMu.Lock()
+	for id, a := range r.aggs {
+		for _, members := range a.perShard {
+			for _, m := range members {
+				if m == sourceID {
+					r.regMu.Unlock()
+					return fmt.Errorf("cluster: %s is a member of aggregate %s; re-register the aggregate instead of migrating", sourceID, id)
+				}
+			}
+		}
+	}
+	r.regMu.Unlock()
+
+	rt := r.routeFor([]byte(sourceID))
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.shard == target {
+		return nil
+	}
+	oldUp, newUp := r.upstreams[rt.shard], r.upstreams[target]
+	epoch := r.ring.Epoch() + 1 // the epoch Pin will establish below
+
+	reply, err := oldUp.rpc(func(w *wire.Writer) error { return w.Snapshot(sourceID, epoch) })
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot %s on shard %d: %w", sourceID, oldUp.shard, err)
+	}
+	if reply.tag != wire.TagStateAck {
+		return fmt.Errorf("cluster: shard %d replied %v to snapshot", oldUp.shard, reply.tag)
+	}
+	snap, err := wire.DecodeStateAck(reply.p)
+	if err != nil {
+		return err
+	}
+	if len(snap.Payload) == 0 {
+		return errors.New("cluster: empty migration snapshot")
+	}
+
+	reply, err = newUp.rpc(func(w *wire.Writer) error { return w.Restore(epoch, snap.Payload) })
+	if err != nil {
+		return fmt.Errorf("cluster: restore %s on shard %d: %w", sourceID, target, err)
+	}
+	if reply.tag != wire.TagStateAck {
+		return fmt.Errorf("cluster: shard %d replied %v to restore", target, reply.tag)
+	}
+	ack, err := wire.DecodeStateAck(reply.p)
+	if err != nil {
+		return err
+	}
+	resume := ack.ResumeSeq
+
+	// Cutover: ack the transferred prefix, replay the suffix on target.
+	rt.pendMu.Lock()
+	n := 0
+	for n < len(rt.pending) && rt.pending[n].seq <= resume {
+		rt.free = append(rt.free, rt.pending[n].buf[:0])
+		rt.pending[n].buf = nil
+		n++
+	}
+	if n > 0 {
+		rt.pending = rt.pending[:copy(rt.pending, rt.pending[n:])]
+	}
+	replay := make([][]byte, len(rt.pending))
+	for i := range rt.pending {
+		replay[i] = rt.pending[i].buf
+	}
+	down := rt.down
+	rt.pendMu.Unlock()
+
+	newUp.mu.Lock()
+	werr := newUp.err
+	for _, buf := range replay {
+		if werr != nil {
+			break
+		}
+		werr = newUp.w.Forward(rt.idx, epoch, buf)
+	}
+	if werr == nil {
+		werr = newUp.w.Flush()
+	}
+	newUp.mu.Unlock()
+	if werr != nil {
+		newUp.fail(werr)
+		return fmt.Errorf("cluster: replay to shard %d: %w", target, werr)
+	}
+
+	r.ring.Pin(sourceID, target)
+	rt.shard = target
+	rt.epoch = r.ring.Epoch()
+	r.tel.migrations.Inc()
+	r.log.Info("stream migrated", "source", sourceID, "from", oldUp.shard, "to", target, "resume_seq", resume)
+
+	// The transferred prefix is durable on the target; release the
+	// source's window for it. The agent's monotonic ack guard makes a
+	// duplicate or reordered cumulative ack harmless.
+	if down != nil && resume >= 0 {
+		down.relayAck(resume)
+	}
+	return nil
+}

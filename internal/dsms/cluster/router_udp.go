@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"streamkf/internal/dsms/wire"
+)
+
+// UDP front end. Sources using the connectionless transport send the
+// same datagrams they would send a shard directly — preamble plus
+// frames — and the router forwards each update to its owning shard over
+// the pooled TCP upstream, preserving the transport contract: no acks,
+// no connection state, dedup-by-seq at the shard. A hello datagram gets
+// an install datagram back, so the handshake works too. Routes created
+// here have no downstream conn (down == nil): shard ForwardAcks still
+// clear the pending window, there is just nobody to relay them to.
+
+// ServeUDP binds a datagram socket and forwards until Close. Blocks.
+func (r *Router) ServeUDP(addr string) error {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: udp listen: %w", err)
+	}
+	r.connMu.Lock()
+	if r.closing {
+		r.connMu.Unlock()
+		pc.Close()
+		return nil
+	}
+	r.udp = pc
+	r.connMu.Unlock()
+
+	buf := make([]byte, 64<<10)
+	var reply []byte
+	touched := make([]bool, len(r.upstreams))
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			r.connMu.Lock()
+			closing := r.closing
+			r.connMu.Unlock()
+			if closing {
+				return nil
+			}
+			return err
+		}
+		_, frames, err := wire.CheckPreamble(buf[:n])
+		if err != nil {
+			continue // not ours; drop like the shard server does
+		}
+		for i := range touched {
+			touched[i] = false
+		}
+		for len(frames) > 0 {
+			var tag wire.Tag
+			var p []byte
+			tag, p, frames, err = wire.NextFrame(frames, r.maxFrame)
+			if err != nil {
+				break
+			}
+			switch tag {
+			case wire.TagUpdate:
+				c := wire.NewCursor(p)
+				idb := c.Take(int(c.U16()))
+				seq := c.I64()
+				if !c.OK() {
+					continue
+				}
+				rt := r.routeFor(idb)
+				shard := r.forward(rt, p, nil, seq, false)
+				if shard >= 0 && shard < len(touched) {
+					touched[shard] = true
+				}
+
+			case wire.TagHello:
+				id, err := wire.DecodeHello(p)
+				if err != nil {
+					continue
+				}
+				rt := r.routeFor([]byte(id))
+				inst, err := r.helloRoute(rt)
+				reply = wire.AppendPreamble(reply[:0], wire.Version, 0)
+				if err != nil {
+					reply, _ = wire.AppendErrorFrame(reply, err.Error())
+				} else {
+					r.tel.helloTotal.Inc()
+					reply, _ = wire.AppendInstallFrame(reply, inst)
+				}
+				_, _ = pc.WriteTo(reply, from)
+			}
+		}
+		// A datagram is a natural burst boundary: flush every shard the
+		// datagram's updates touched.
+		for i, t := range touched {
+			if t {
+				r.flushShard(i)
+			}
+		}
+	}
+}
+
+// flushShard pushes the shard's buffered forwards to the kernel.
+func (r *Router) flushShard(shard int) {
+	up := r.upstreams[shard]
+	up.mu.Lock()
+	if up.err == nil {
+		if err := up.w.Flush(); err != nil {
+			up.err = err
+			up.mu.Unlock()
+			up.fail(err)
+			return
+		}
+	}
+	up.mu.Unlock()
+}
+
+// UDPAddr returns the router's bound UDP address, if ServeUDP is up.
+func (r *Router) UDPAddr() string {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	if r.udp == nil {
+		return ""
+	}
+	return r.udp.LocalAddr().String()
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"strconv"
+	"time"
+
+	"streamkf/internal/telemetry"
+)
+
+// Router telemetry. Counters and histograms are per-shard where the
+// shard dimension matters for capacity decisions: forwards and forward
+// latency tell the operator which shard is hot, the connection gauges
+// whether the router has lost an upstream.
+
+// telEpoch anchors the monotonic clock used for forward-latency
+// stamps; only differences are ever observed.
+var telEpoch = time.Now()
+
+func nowNanos() int64 { return int64(time.Since(telEpoch)) }
+
+type routerTelemetry struct {
+	reg *telemetry.Registry
+
+	// Indexed by shard.
+	forwarded  []*telemetry.Counter
+	fwdLatency []*telemetry.Histogram
+
+	upstreamConns *telemetry.Gauge
+	downConns     *telemetry.Gauge
+	helloTotal    *telemetry.Counter
+	aggAnswers    *telemetry.Counter
+	aggSuppressed *telemetry.Counter
+	migrations    *telemetry.Counter
+	reconnects    *telemetry.Counter
+}
+
+func newRouterTelemetry(reg *telemetry.Registry, shards int) *routerTelemetry {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	t := &routerTelemetry{
+		reg:        reg,
+		forwarded:  make([]*telemetry.Counter, shards),
+		fwdLatency: make([]*telemetry.Histogram, shards),
+	}
+	for i := 0; i < shards; i++ {
+		lbl := telemetry.L("shard", strconv.Itoa(i))
+		t.forwarded[i] = reg.Counter("dkf_router_forwarded_total",
+			"Updates forwarded to the owning shard.", lbl)
+		t.fwdLatency[i] = reg.Histogram("dkf_router_forward_latency_nanos",
+			"Forward round-trip: update written upstream to shard ack received.", lbl)
+	}
+	t.upstreamConns = reg.Gauge("dkf_router_upstream_conns",
+		"Live upstream shard connections.")
+	t.downConns = reg.Gauge("dkf_router_downstream_conns",
+		"Live downstream source connections.")
+	t.helloTotal = reg.Counter("dkf_router_hello_total",
+		"Source hello handshakes relayed to shards.")
+	t.aggAnswers = reg.Counter("dkf_router_aggregate_answers_total",
+		"Cross-shard aggregate answers merged from shard partials.")
+	t.aggSuppressed = reg.Counter("dkf_router_aggregate_suppressed_total",
+		"Aggregate answers served from the cached merged value (outbound re-suppression).")
+	t.migrations = reg.Counter("dkf_router_migrations_total",
+		"Stream migrations completed.")
+	t.reconnects = reg.Counter("dkf_router_upstream_reconnects_total",
+		"Upstream shard reconnects completed.")
+	return t
+}

@@ -107,6 +107,15 @@ type sourceState struct {
 	cfg     core.Config
 	queries []stream.Query
 
+	// version counts data mutations of this stream's filter state —
+	// update applies, batch advances, snapshot restores. Aggregate
+	// memos sum member versions as their change detector (aggregate.go),
+	// so it must be bumped by every mutation that can move a query
+	// answer, and only by those (Answer's internal advance does not
+	// bump: an answer at seq is a pure function of the state the memo
+	// stamped). Atomic so memo validation needs no per-source lock.
+	version atomic.Int64
+
 	mu      sync.Mutex
 	node    *core.ServerNode
 	ins     *sourceInstruments // update/byte counters; single source of truth for Stats
@@ -154,6 +163,7 @@ type Server struct {
 
 	aggMu     sync.Mutex
 	aggregate map[string]AggregateQuery
+	aggMemo   map[string]*aggMemo // per-aggregate answer memo (aggregate.go)
 
 	alertMu        sync.Mutex
 	alerts         map[string]*alertState
@@ -201,18 +211,24 @@ type Server struct {
 	// EnableSelfMon. See selfmon.go.
 	selfMu  sync.Mutex
 	selfmon *SelfMonitor
+
+	// shard is the cluster identity and released-stream bookkeeping;
+	// inert (index -1) while the server runs standalone. See shard.go.
+	shard shardState
 }
 
 // NewServer returns a server resolving models from catalog. Every
 // server carries a telemetry registry; instrumentation is always on
 // because recording is allocation-free (see internal/telemetry).
 func NewServer(catalog *Catalog) *Server {
-	return &Server{
+	s := &Server{
 		catalog: catalog,
 		tel:     newServerTelemetry(telemetry.NewRegistry()),
 		sources: make(map[string]*sourceState),
 		byQuery: make(map[string]*sourceState),
 	}
+	s.shard.index.Store(-1)
+	return s
 }
 
 // Telemetry returns the server's metric registry — what the admin
@@ -414,6 +430,7 @@ func (s *Server) applyLocked(st *sourceState, u *core.Update, wd *trace.Decision
 	if err := st.node.ApplyUpdate(*u); err != nil {
 		return false, 0, err
 	}
+	st.version.Add(1)
 	if err := st.recordHistory(u.Seq, u.Values, u.Bootstrap); err != nil {
 		return false, 0, fmt.Errorf("dsms: recording history for %s: %w", u.SourceID, err)
 	}
@@ -534,6 +551,7 @@ func (s *Server) advanceOne(st *sourceState, seq int) bool {
 	// are logged (after advancing, same lock) for exact replay; a log
 	// failure here surfaces on the next ingest append.
 	st.node.AdvanceTo(seq)
+	st.version.Add(1)
 	if s.db != nil && !s.db.replaying {
 		_ = s.db.appendAdvance(st, seq)
 	}
@@ -706,6 +724,7 @@ type Streamz struct {
 	StepAll      *LatencySummary `json:"stepall_latency,omitempty"`
 	WAL          *WALStreamz     `json:"wal,omitempty"`
 	Engine       *EngineStreamz  `json:"engine,omitempty"`
+	Cluster      *ClusterStreamz `json:"cluster,omitempty"`
 	Streams      []Stats         `json:"streams"`
 }
 
@@ -727,6 +746,7 @@ func (s *Server) Streamz() Streamz {
 		z.WAL = &w
 	}
 	z.Engine = s.engineStreamz()
+	z.Cluster = s.clusterStreamz()
 	return z
 }
 

@@ -350,60 +350,73 @@ func (s *Server) encodeCheckpoint() ([]byte, map[*sourceState]int) {
 	buf := make([]byte, 0, 1024)
 	buf = wire.AppendU32(buf, uint32(len(s.sources)))
 	for _, st := range s.sources {
-		buf, _ = wire.AppendString(buf, st.id)
-		buf = wire.AppendU32(buf, uint32(len(st.queries)))
-		for _, q := range st.queries {
-			buf, _ = wire.AppendString(buf, q.ID)
-			buf, _ = wire.AppendString(buf, q.Model)
-			buf = wire.AppendF64(buf, q.Delta)
-			buf = wire.AppendF64(buf, q.F)
+		var seq int
+		buf, seq = appendSourceEntry(buf, st)
+		seqs[st] = seq
+	}
+	return buf, seqs
+}
+
+// appendSourceEntry encodes one source's full state — queries, counters,
+// seq↔time mapping, filter snapshot — in the checkpoint layout above,
+// returning the extended buffer and the last update seq the entry
+// covers. It is the shared snapshot body for whole-server checkpoints
+// and single-stream migration transfers (shard.go). Caller holds s.mu
+// (read suffices); the source's runtime lock is taken here.
+func appendSourceEntry(buf []byte, st *sourceState) ([]byte, int) {
+	buf, _ = wire.AppendString(buf, st.id)
+	buf = wire.AppendU32(buf, uint32(len(st.queries)))
+	for _, q := range st.queries {
+		buf, _ = wire.AppendString(buf, q.ID)
+		buf, _ = wire.AppendString(buf, q.Model)
+		buf = wire.AppendF64(buf, q.Delta)
+		buf = wire.AppendF64(buf, q.F)
+	}
+	st.mu.Lock()
+	buf = wire.AppendI64(buf, int64(st.lastSeq))
+	buf = wire.AppendI64(buf, st.ins.updates.Value())
+	buf = wire.AppendI64(buf, st.ins.suppressed.Value())
+	buf = wire.AppendI64(buf, st.ins.bytes.Value())
+	buf = append(buf, b2u8(st.times.anchored))
+	buf = wire.AppendI64(buf, int64(st.times.bootSeq))
+	buf = wire.AppendF64(buf, st.times.bootTime)
+	buf = wire.AppendI64(buf, int64(st.times.lastSeq))
+	buf = wire.AppendF64(buf, st.times.lastTime)
+	var snap *core.NodeSnapshot
+	switch {
+	case st.node == nil:
+		buf = append(buf, 0)
+	case !st.node.Bootstrapped():
+		buf = append(buf, 1)
+	default:
+		buf = append(buf, 2)
+		snap = st.node.Snapshot()
+	}
+	seq := st.lastSeq
+	st.mu.Unlock()
+	if snap != nil {
+		buf = wire.AppendI64(buf, int64(snap.K))
+		buf = wire.AppendI64(buf, int64(snap.Seq))
+		buf = wire.AppendI64(buf, int64(snap.Ticks))
+		buf = wire.AppendF64(buf, snap.LastNIS)
+		buf = append(buf, b2u8(snap.NISValid))
+		buf = wire.AppendU16(buf, uint16(len(snap.X)))
+		for _, v := range snap.X {
+			buf = wire.AppendF64(buf, v)
 		}
-		st.mu.Lock()
-		buf = wire.AppendI64(buf, int64(st.lastSeq))
-		buf = wire.AppendI64(buf, st.ins.updates.Value())
-		buf = wire.AppendI64(buf, st.ins.suppressed.Value())
-		buf = wire.AppendI64(buf, st.ins.bytes.Value())
-		buf = append(buf, b2u8(st.times.anchored))
-		buf = wire.AppendI64(buf, int64(st.times.bootSeq))
-		buf = wire.AppendF64(buf, st.times.bootTime)
-		buf = wire.AppendI64(buf, int64(st.times.lastSeq))
-		buf = wire.AppendF64(buf, st.times.lastTime)
-		var snap *core.NodeSnapshot
-		switch {
-		case st.node == nil:
-			buf = append(buf, 0)
-		case !st.node.Bootstrapped():
-			buf = append(buf, 1)
-		default:
-			buf = append(buf, 2)
-			snap = st.node.Snapshot()
+		buf = wire.AppendU32(buf, uint32(len(snap.P)))
+		for _, v := range snap.P {
+			buf = wire.AppendF64(buf, v)
 		}
-		seqs[st] = st.lastSeq
-		st.mu.Unlock()
-		if snap != nil {
-			buf = wire.AppendI64(buf, int64(snap.K))
-			buf = wire.AppendI64(buf, int64(snap.Seq))
-			buf = wire.AppendI64(buf, int64(snap.Ticks))
-			buf = wire.AppendF64(buf, snap.LastNIS)
-			buf = append(buf, b2u8(snap.NISValid))
-			buf = wire.AppendU16(buf, uint16(len(snap.X)))
-			for _, v := range snap.X {
+		buf = wire.AppendU16(buf, uint16(len(snap.Innovations)))
+		for _, innov := range snap.Innovations {
+			buf = wire.AppendU16(buf, uint16(len(innov)))
+			for _, v := range innov {
 				buf = wire.AppendF64(buf, v)
-			}
-			buf = wire.AppendU32(buf, uint32(len(snap.P)))
-			for _, v := range snap.P {
-				buf = wire.AppendF64(buf, v)
-			}
-			buf = wire.AppendU16(buf, uint16(len(snap.Innovations)))
-			for _, innov := range snap.Innovations {
-				buf = wire.AppendU16(buf, uint16(len(innov)))
-				for _, v := range innov {
-					buf = wire.AppendF64(buf, v)
-				}
 			}
 		}
 	}
-	return buf, seqs
+	return buf, seq
 }
 
 func b2u8(b bool) byte {
@@ -430,105 +443,134 @@ func (s *Server) restoreCheckpoint(p []byte) error {
 		return errBadCheckpoint("truncated header")
 	}
 	for i := 0; i < nSources; i++ {
-		sourceID := string(c.Str())
-		nQueries := int(c.U32())
-		if !c.OK() {
-			return errBadCheckpoint("truncated source entry")
+		if _, _, err := s.restoreSourceEntry(&c); err != nil {
+			return err
 		}
-		for j := 0; j < nQueries; j++ {
-			q := stream.Query{SourceID: sourceID}
-			q.ID = string(c.Str())
-			q.Model = string(c.Str())
-			q.Delta = c.F64()
-			q.F = c.F64()
-			if !c.OK() {
-				return errBadCheckpoint("truncated query entry")
-			}
-			if err := s.Register(q); err != nil {
-				return fmt.Errorf("dsms: re-registering %s: %w", q.ID, err)
-			}
-		}
-		lastSeq := int(c.I64())
-		updates := c.I64()
-		suppressed := c.I64()
-		bytes := c.I64()
-		anchored := c.U8() != 0
-		bootSeq := int(c.I64())
-		bootTime := c.F64()
-		tmLastSeq := int(c.I64())
-		tmLastTime := c.F64()
-		nodeState := c.U8()
-		var snap *core.NodeSnapshot
-		if nodeState == 2 {
-			snap = &core.NodeSnapshot{}
-			snap.K = int(c.I64())
-			snap.Seq = int(c.I64())
-			snap.Ticks = int(c.I64())
-			snap.LastNIS = c.F64()
-			snap.NISValid = c.U8() != 0
-			nx := int(c.U16())
-			snap.X = make([]float64, nx)
-			for k := range snap.X {
-				snap.X[k] = c.F64()
-			}
-			np := int(c.U32())
-			if !c.OK() || np > len(p) {
-				return errBadCheckpoint("truncated filter state")
-			}
-			snap.P = make([]float64, np)
-			for k := range snap.P {
-				snap.P[k] = c.F64()
-			}
-			ni := int(c.U16())
-			snap.Innovations = make([][]float64, ni)
-			for k := range snap.Innovations {
-				nv := int(c.U16())
-				if !c.OK() || nv > len(p) {
-					return errBadCheckpoint("truncated innovation window")
-				}
-				innov := make([]float64, nv)
-				for m := range innov {
-					innov[m] = c.F64()
-				}
-				snap.Innovations[k] = innov
-			}
-		}
-		if !c.OK() {
-			return errBadCheckpoint("truncated source state")
-		}
-		if nodeState >= 1 {
-			if _, err := s.InstallFor(sourceID); err != nil {
-				return fmt.Errorf("dsms: reinstalling %s: %w", sourceID, err)
-			}
-		}
-		s.mu.RLock()
-		st := s.sources[sourceID]
-		s.mu.RUnlock()
-		if st == nil {
-			return errBadCheckpoint("source entry with no queries")
-		}
-		st.mu.Lock()
-		if snap != nil {
-			if err := st.node.RestoreSnapshot(snap); err != nil {
-				st.mu.Unlock()
-				return fmt.Errorf("dsms: restoring filter for %s: %w", sourceID, err)
-			}
-		}
-		st.lastSeq = lastSeq
-		st.ckptSeq = lastSeq
-		st.ins.updates.Add(updates)
-		st.ins.suppressed.Add(suppressed)
-		st.ins.bytes.Add(bytes)
-		if st.node != nil {
-			st.ins.seq.SetInt(int64(st.node.Seq()))
-		}
-		st.times = timeMap{anchored: anchored, bootSeq: bootSeq, bootTime: bootTime, lastSeq: tmLastSeq, lastTime: tmLastTime}
-		st.mu.Unlock()
 	}
 	if !c.Done() {
 		return errBadCheckpoint("trailing bytes")
 	}
 	return nil
+}
+
+// restoreSourceEntry decodes one source entry (the appendSourceEntry
+// layout) from c and installs it: queries re-registered through
+// Register so the shared min-Δ configuration is recomputed, the filter
+// restored bit-identically from its snapshot, counters and seq↔time
+// mapping put back. It is the shared restore body for checkpoint
+// recovery and migration installs (shard.go). Counters are added only
+// when the source's update counter is still zero, so re-adopting a
+// stream that already lived on this server (a migrate-back) does not
+// double-count its history.
+func (s *Server) restoreSourceEntry(c *wire.Cursor) (sourceID string, lastSeq int, err error) {
+	sourceID = string(c.Str())
+	nQueries := int(c.U32())
+	if !c.OK() {
+		return "", 0, errBadCheckpoint("truncated source entry")
+	}
+	for j := 0; j < nQueries; j++ {
+		q := stream.Query{SourceID: sourceID}
+		q.ID = string(c.Str())
+		q.Model = string(c.Str())
+		q.Delta = c.F64()
+		q.F = c.F64()
+		if !c.OK() {
+			return "", 0, errBadCheckpoint("truncated query entry")
+		}
+		// An already-present query is adopted, not an error: a migration
+		// target may have the sub-queries pre-registered by the router,
+		// and a checkpoint restore starts from an empty server where
+		// HasQuery is always false.
+		if s.HasQuery(q.ID) {
+			continue
+		}
+		if err := s.Register(q); err != nil {
+			return "", 0, fmt.Errorf("dsms: re-registering %s: %w", q.ID, err)
+		}
+	}
+	lastSeq = int(c.I64())
+	updates := c.I64()
+	suppressed := c.I64()
+	bytes := c.I64()
+	anchored := c.U8() != 0
+	bootSeq := int(c.I64())
+	bootTime := c.F64()
+	tmLastSeq := int(c.I64())
+	tmLastTime := c.F64()
+	nodeState := c.U8()
+	var snap *core.NodeSnapshot
+	if nodeState == 2 {
+		snap = &core.NodeSnapshot{}
+		snap.K = int(c.I64())
+		snap.Seq = int(c.I64())
+		snap.Ticks = int(c.I64())
+		snap.LastNIS = c.F64()
+		snap.NISValid = c.U8() != 0
+		nx := int(c.U16())
+		if !c.OK() || nx > c.Remaining() {
+			return "", 0, errBadCheckpoint("truncated filter state")
+		}
+		snap.X = make([]float64, nx)
+		for k := range snap.X {
+			snap.X[k] = c.F64()
+		}
+		np := int(c.U32())
+		if !c.OK() || np > c.Remaining() {
+			return "", 0, errBadCheckpoint("truncated filter state")
+		}
+		snap.P = make([]float64, np)
+		for k := range snap.P {
+			snap.P[k] = c.F64()
+		}
+		ni := int(c.U16())
+		snap.Innovations = make([][]float64, ni)
+		for k := range snap.Innovations {
+			nv := int(c.U16())
+			if !c.OK() || nv > c.Remaining() {
+				return "", 0, errBadCheckpoint("truncated innovation window")
+			}
+			innov := make([]float64, nv)
+			for m := range innov {
+				innov[m] = c.F64()
+			}
+			snap.Innovations[k] = innov
+		}
+	}
+	if !c.OK() {
+		return "", 0, errBadCheckpoint("truncated source state")
+	}
+	if nodeState >= 1 {
+		if _, err := s.InstallFor(sourceID); err != nil {
+			return "", 0, fmt.Errorf("dsms: reinstalling %s: %w", sourceID, err)
+		}
+	}
+	s.mu.RLock()
+	st := s.sources[sourceID]
+	s.mu.RUnlock()
+	if st == nil {
+		return "", 0, errBadCheckpoint("source entry with no queries")
+	}
+	st.mu.Lock()
+	if snap != nil {
+		if err := st.node.RestoreSnapshot(snap); err != nil {
+			st.mu.Unlock()
+			return "", 0, fmt.Errorf("dsms: restoring filter for %s: %w", sourceID, err)
+		}
+	}
+	st.lastSeq = lastSeq
+	st.ckptSeq = lastSeq
+	if st.ins.updates.Value() == 0 {
+		st.ins.updates.Add(updates)
+		st.ins.suppressed.Add(suppressed)
+		st.ins.bytes.Add(bytes)
+	}
+	if st.node != nil {
+		st.ins.seq.SetInt(int64(st.node.Seq()))
+	}
+	st.times = timeMap{anchored: anchored, bootSeq: bootSeq, bootTime: bootTime, lastSeq: tmLastSeq, lastTime: tmLastTime}
+	st.version.Add(1)
+	st.mu.Unlock()
+	return sourceID, lastSeq, nil
 }
 
 // replayRecord applies one WAL record during recovery. Records already
@@ -596,6 +638,7 @@ func (s *Server) replayRecord(tag byte, p []byte, u *core.Update) error {
 		st.mu.Lock()
 		if st.node != nil {
 			st.node.AdvanceTo(seq)
+			st.version.Add(1)
 		}
 		st.mu.Unlock()
 		return nil

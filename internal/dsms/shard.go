@@ -1,0 +1,160 @@
+package dsms
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"streamkf/internal/dsms/wire"
+)
+
+// Shard-side cluster surface: what a Server exposes when it runs as one
+// shard of a consistent-hash cluster behind a dkf-router (see
+// internal/dsms/cluster). A shard is an ordinary server — same filters,
+// same WAL, same query answers — plus three things: an identity (shard
+// index and the topology epoch it has observed), a released-stream set
+// recording streams migrated away, and single-stream snapshot/restore
+// built on the checkpoint encoding (persist.go), which is what moves a
+// live stream between shards without re-bootstrapping its filter pair.
+
+// shardState is the cluster bookkeeping attached to a Server. The
+// identity fields are atomics (read on the forward hot path and by
+// scrapes); the released map is mutated only during migrations.
+type shardState struct {
+	index atomic.Int64 // shard index; -1 while not in a cluster
+	epoch atomic.Int64 // highest topology epoch observed
+
+	mu       sync.Mutex
+	released map[string]int64 // sourceID -> epoch at which it was migrated away
+}
+
+// SetShardInfo declares this server to be shard index of a cluster at
+// topology epoch. Index -1 (the default) means standalone.
+func (s *Server) SetShardInfo(index int, epoch int64) {
+	s.shard.index.Store(int64(index))
+	s.shard.epoch.Store(epoch)
+}
+
+// ShardIndex returns the server's shard index, -1 when standalone.
+func (s *Server) ShardIndex() int { return int(s.shard.index.Load()) }
+
+// TopologyEpoch returns the highest topology epoch this shard has
+// observed from its router.
+func (s *Server) TopologyEpoch() int64 { return s.shard.epoch.Load() }
+
+// ObserveEpoch folds a router-announced topology epoch into the shard's
+// high-water mark.
+func (s *Server) ObserveEpoch(epoch int64) {
+	for {
+		cur := s.shard.epoch.Load()
+		if epoch <= cur || s.shard.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// SourceReleased reports whether sourceID was migrated away from this
+// shard, and at which epoch. A forward for a released stream is a
+// routing error (a stale owner): the shard rejects it so the update is
+// never folded into a filter that stopped being authoritative.
+func (s *Server) SourceReleased(sourceID string) (int64, bool) {
+	s.shard.mu.Lock()
+	defer s.shard.mu.Unlock()
+	e, ok := s.shard.released[sourceID]
+	return e, ok
+}
+
+// releasedCount returns how many streams have been migrated away.
+func (s *Server) releasedCount() int {
+	s.shard.mu.Lock()
+	defer s.shard.mu.Unlock()
+	return len(s.shard.released)
+}
+
+// SnapshotSource cuts a migration snapshot of one stream — the
+// checkpoint encoding of its queries, counters, time map and filter
+// state — marks the stream released at epoch, and returns the payload
+// plus the last update seq it covers (the cutover ResumeSeq). From this
+// moment the shard rejects forwards for the stream; the router replays
+// anything past resumeSeq on the target.
+func (s *Server) SnapshotSource(sourceID string, epoch int64) (payload []byte, resumeSeq int64, err error) {
+	s.mu.RLock()
+	st := s.sources[sourceID]
+	var buf []byte
+	var last int
+	if st != nil {
+		buf, last = appendSourceEntry(make([]byte, 0, 512), st)
+	}
+	s.mu.RUnlock()
+	if st == nil {
+		return nil, 0, fmt.Errorf("dsms: snapshot of unknown source %s", sourceID)
+	}
+	s.shard.mu.Lock()
+	if s.shard.released == nil {
+		s.shard.released = make(map[string]int64)
+	}
+	s.shard.released[sourceID] = epoch
+	s.shard.mu.Unlock()
+	s.ObserveEpoch(epoch)
+	return buf, int64(last), nil
+}
+
+// RestoreSource installs a migration snapshot (a SnapshotSource
+// payload) on this shard: queries are adopted or registered, the filter
+// state restored bit-identically, and the stream un-released if it had
+// previously been migrated away (a migrate-back). On a durable server
+// the restored state is checkpointed synchronously before returning, so
+// acknowledging the migration never races a crash that would lose the
+// transferred filter. Returns the stream's id and the last update seq
+// the snapshot covers.
+func (s *Server) RestoreSource(payload []byte, epoch int64) (sourceID string, resumeSeq int64, err error) {
+	c := wire.NewCursor(payload)
+	id, last, err := s.restoreSourceEntry(&c)
+	if err != nil {
+		return "", 0, err
+	}
+	if !c.Done() {
+		return "", 0, errBadCheckpoint("trailing bytes after source entry")
+	}
+	s.shard.mu.Lock()
+	delete(s.shard.released, id)
+	s.shard.mu.Unlock()
+	s.ObserveEpoch(epoch)
+	if s.db != nil {
+		// The WAL never saw the transferred history, so the snapshot-
+		// covered state must be durable before the migration is acked:
+		// a post-ack crash then recovers the stream from this
+		// checkpoint instead of losing it.
+		if err := s.Checkpoint(); err != nil {
+			return "", 0, fmt.Errorf("dsms: checkpointing restored source %s: %w", id, err)
+		}
+	}
+	return id, int64(last), nil
+}
+
+// ClusterStreamz is the cluster block of the /streamz status document a
+// shard serves.
+type ClusterStreamz struct {
+	ShardIndex      int   `json:"shard_index"`
+	TopologyEpoch   int64 `json:"topology_epoch"`
+	OwnedStreams    int   `json:"owned_streams"`
+	ReleasedStreams int   `json:"released_streams"`
+}
+
+// clusterStreamz returns the cluster block, or nil while standalone.
+func (s *Server) clusterStreamz() *ClusterStreamz {
+	idx := s.ShardIndex()
+	if idx < 0 {
+		return nil
+	}
+	s.mu.RLock()
+	owned := len(s.sources)
+	s.mu.RUnlock()
+	released := s.releasedCount()
+	return &ClusterStreamz{
+		ShardIndex:      idx,
+		TopologyEpoch:   s.TopologyEpoch(),
+		OwnedStreams:    owned - released,
+		ReleasedStreams: released,
+	}
+}

@@ -166,8 +166,11 @@ func (t *TCPServer) handle(conn net.Conn) {
 		return
 	}
 	// Advertise trace-frame acceptance only while tracing is on, so
-	// non-tracing servers never have to parse the optional tag.
-	var feats byte
+	// non-tracing servers never have to parse the optional tag. Cluster
+	// framing is always accepted — the handler below understands the
+	// tags whether or not this server runs as a shard, and a router
+	// requires the bit before it will forward upstream.
+	feats := wire.FeatCluster
 	if t.server.TraceEnabled() {
 		feats |= wire.FeatTrace
 	}
@@ -194,6 +197,12 @@ func (t *TCPServer) handle(conn net.Conn) {
 	var pend trace.DecisionInfo
 	havePend := false
 
+	// Forward-ack coalescing (cluster mode): a burst of forwarded
+	// updates acks once per route index, not once per frame. fwdOrder
+	// keeps the flush order deterministic (first-touched first).
+	var fwdAcks map[uint32]int64
+	var fwdOrder []uint32
+
 	// flushAck writes the cumulative ack for everything folded so far.
 	flushAck := func() bool {
 		if pendingAck {
@@ -202,6 +211,13 @@ func (t *TCPServer) handle(conn net.Conn) {
 			}
 			pendingAck = false
 		}
+		for _, idx := range fwdOrder {
+			if w.ForwardAck(idx, fwdAcks[idx]) != nil {
+				return false
+			}
+			delete(fwdAcks, idx)
+		}
+		fwdOrder = fwdOrder[:0]
 		return w.Flush() == nil
 	}
 
@@ -293,8 +309,10 @@ func (t *TCPServer) handle(conn net.Conn) {
 			vals, err := t.server.Answer(qid, int(seq))
 			if err != nil {
 				// The id may name an aggregate or windowed query instead.
-				if v, aggErr := t.server.AnswerAggregate(qid, int(seq)); aggErr == nil {
-					vals, err = []float64{v}, nil
+				// A Partial aggregate answers its mergeable partial vector
+				// (what a router merges); others answer a scalar.
+				if v, aggErr := t.server.AnswerAggregateVals(qid, int(seq)); aggErr == nil {
+					vals, err = v, nil
 				} else if v, winErr := t.server.AnswerWindow(qid, int(seq)); winErr == nil {
 					vals, err = []float64{v}, nil
 				}
@@ -306,6 +324,130 @@ func (t *TCPServer) handle(conn net.Conn) {
 				continue
 			}
 			if w.Answer(qid, vals) != nil || !flushAck() {
+				return
+			}
+		case wire.TagForward:
+			// A router-forwarded update: the envelope carries the route
+			// index the ack must name (the downstream seq alone is
+			// ambiguous across sources sharing the upstream connection)
+			// and the topology epoch the router routed under.
+			env, err := wire.DecodeForward(p)
+			if err != nil {
+				tel.countWireError(err)
+				w.Error(fmt.Sprintf("dsms: %v", err))
+				w.Flush()
+				return
+			}
+			t.server.ObserveEpoch(env.Epoch)
+			if err := r.DecodeUpdate(env.Payload, &u); err != nil {
+				tel.countWireError(err)
+				w.Error(fmt.Sprintf("dsms: %v", err))
+				w.Flush()
+				return
+			}
+			if _, rel := t.server.SourceReleased(u.SourceID); rel {
+				// A stale owner: this stream migrated away. Rejecting —
+				// never folding — keeps exactly one shard authoritative.
+				if w.Error(fmt.Sprintf("dsms: source %s released from this shard", u.SourceID)) != nil || !flushAck() {
+					return
+				}
+				continue
+			}
+			var wd *trace.DecisionInfo
+			if havePend {
+				havePend = false
+				if pend.Seq == int64(u.Seq) {
+					wd = &pend
+				}
+			}
+			if err := t.server.HandleUpdateTraced(u, wd, len(p)+5); err != nil {
+				if w.Error(err.Error()) != nil || !flushAck() {
+					return
+				}
+				continue
+			}
+			if _, ok := fwdAcks[env.Idx]; !ok {
+				if fwdAcks == nil {
+					fwdAcks = make(map[uint32]int64)
+				}
+				fwdOrder = append(fwdOrder, env.Idx)
+			}
+			fwdAcks[env.Idx] = int64(u.Seq)
+			if r.Buffered() == 0 && !flushAck() {
+				return
+			}
+		case wire.TagClusterReg:
+			kind, q, agg, err := wire.DecodeClusterReg(p)
+			if err != nil {
+				tel.countWireError(err)
+				w.Error(fmt.Sprintf("dsms: %v", err))
+				w.Flush()
+				return
+			}
+			// Registration is idempotent-adopt: a router re-registering
+			// after a shard restart finds the queries recovered from the
+			// WAL and simply confirms them.
+			var id string
+			var regErr error
+			if kind == wire.RegAggregate {
+				id = agg.ID
+				if !t.server.HasAggregate(agg.ID) {
+					regErr = t.server.RegisterAggregate(AggregateQuery{
+						ID: agg.ID, Func: AggFunc(agg.Func), Model: agg.Model,
+						Delta: agg.Delta, F: agg.F, Partial: agg.Partial, SourceIDs: agg.SourceIDs,
+					})
+				}
+			} else {
+				id = q.ID
+				if !t.server.HasQuery(q.ID) {
+					regErr = t.server.Register(stream.Query{
+						ID: q.ID, SourceID: q.SourceID, Model: q.Model, Delta: q.Delta, F: q.F,
+					})
+				}
+			}
+			if regErr != nil {
+				if w.Error(regErr.Error()) != nil || !flushAck() {
+					return
+				}
+				continue
+			}
+			if w.Registered(id) != nil || !flushAck() {
+				return
+			}
+		case wire.TagSnapshot:
+			srcID, epoch, err := wire.DecodeSnapshot(p)
+			if err != nil {
+				tel.countWireError(err)
+				w.Error(fmt.Sprintf("dsms: %v", err))
+				w.Flush()
+				return
+			}
+			payload, resumeSeq, err := t.server.SnapshotSource(srcID, epoch)
+			if err != nil {
+				if w.Error(err.Error()) != nil || !flushAck() {
+					return
+				}
+				continue
+			}
+			if w.WriteStateAck(wire.StateAck{SourceID: srcID, ResumeSeq: resumeSeq, Epoch: epoch, Payload: payload}) != nil || !flushAck() {
+				return
+			}
+		case wire.TagRestore:
+			epoch, payload, err := wire.DecodeRestore(p)
+			if err != nil {
+				tel.countWireError(err)
+				w.Error(fmt.Sprintf("dsms: %v", err))
+				w.Flush()
+				return
+			}
+			srcID, resumeSeq, err := t.server.RestoreSource(payload, epoch)
+			if err != nil {
+				if w.Error(err.Error()) != nil || !flushAck() {
+					return
+				}
+				continue
+			}
+			if w.WriteStateAck(wire.StateAck{SourceID: srcID, ResumeSeq: resumeSeq, Epoch: epoch}) != nil || !flushAck() {
 				return
 			}
 		default:

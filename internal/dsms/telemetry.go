@@ -25,12 +25,16 @@ var Version = "dev"
 // nowNanos returns monotonic nanoseconds since process start.
 func nowNanos() int64 { return int64(time.Since(epoch)) }
 
-// numTags sizes the per-tag counter arrays: wire tags are 0x01..0x08,
-// index 0 collects anything out of range.
-const numTags = 9
+// numTags sizes the per-tag counter arrays: wire tags are 0x01..0x08
+// plus the cluster tags 0x09..0x0f; index 0 collects anything out of
+// range.
+const numTags = 16
 
 // tagLabels names the per-tag label values, indexed by wire.Tag.
-var tagLabels = [numTags]string{"other", "hello", "install", "update", "ack", "query", "answer", "error", "trace"}
+var tagLabels = [numTags]string{
+	"other", "hello", "install", "update", "ack", "query", "answer", "error", "trace",
+	"forward", "forward_ack", "cluster_reg", "registered", "snapshot", "restore", "state_ack",
+}
 
 // serverTelemetry bundles the server-wide instruments: the registry the
 // admin endpoint scrapes, StepAll batch latency, and the wire-layer
@@ -46,6 +50,9 @@ type serverTelemetry struct {
 
 	connsTotal  *telemetry.Counter
 	connsActive *telemetry.Gauge
+
+	aggAnswers  *telemetry.Counter
+	aggMemoHits *telemetry.Counter
 
 	rxFrames [numTags]*telemetry.Counter
 	rxBytes  [numTags]*telemetry.Counter
@@ -88,6 +95,8 @@ func newServerTelemetry(reg *telemetry.Registry) *serverTelemetry {
 	t.stepAllAdvanced = reg.Counter("dkf_server_stepall_advanced_total", "Source filters advanced by StepAll batches.")
 	t.connsTotal = reg.Counter("dkf_wire_connections_total", "TCP connections accepted.")
 	t.connsActive = reg.Gauge("dkf_wire_connections_active", "TCP connections currently open.")
+	t.aggAnswers = reg.Counter("dkf_aggregate_answers_total", "Aggregate answers computed from member filters (memo misses).")
+	t.aggMemoHits = reg.Counter("dkf_aggregate_memo_hits_total", "Aggregate answers served from the seq-stamped memo.")
 	for i, name := range tagLabels {
 		tag := telemetry.L("tag", name)
 		t.rxFrames[i] = reg.Counter("dkf_wire_rx_frames_total", "Frames received, by tag.", tag)

@@ -1,0 +1,364 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cluster framing: the router ↔ shard half of the protocol.
+//
+// A dkf-router multiplexes many sources over one upstream connection
+// per shard, which breaks the v2 assumption that a connection carries
+// exactly one source (acks are bare sequence numbers). The forward
+// envelope fixes that with a router-assigned u32 route index: the
+// shard acks (idx, seq) pairs and the router fans them back out to the
+// right downstream connections. The remaining tags are the router's
+// RPCs — remote registration, and the snapshot/restore pair that moves
+// one stream's checkpoint state between shards during migration.
+//
+// Tags 0x09–0x0f extend the v2 namespace without colliding with the
+// WAL's on-disk records (0x10+, see persist.go). A shard advertises
+// FeatCluster in its preamble; a router refuses an upstream that does
+// not, so plain v2 servers never see these tags.
+const (
+	TagForward    Tag = 0x09 // router → shard: u32 idx, i64 epoch, then a standard update payload
+	TagForwardAck Tag = 0x0a // shard → router: u32 idx, i64 seq (cumulative per route)
+	TagClusterReg Tag = 0x0b // router → shard: remote query/aggregate registration
+	TagRegistered Tag = 0x0c // shard → router: str id (registration accepted or adopted)
+	TagSnapshot   Tag = 0x0d // router → shard: str sourceID, i64 epoch (release + snapshot)
+	TagRestore    Tag = 0x0e // router → shard: i64 epoch, u32 len, snapshot payload
+	TagStateAck   Tag = 0x0f // shard → router: str sourceID, i64 resumeSeq, i64 epoch, u32 len, payload
+)
+
+// FeatCluster announces that this side accepts the cluster tags above.
+// Servers advertise it unconditionally; the dkf-router requires it on
+// every upstream connection and refuses to forward to a peer without
+// it (an older server would answer TagForward with a sticky error).
+const FeatCluster byte = 0x02
+
+// clusterTagName names the cluster tags for Tag.String.
+func clusterTagName(t Tag) (string, bool) {
+	switch t {
+	case TagForward:
+		return "forward", true
+	case TagForwardAck:
+		return "forward_ack", true
+	case TagClusterReg:
+		return "cluster_reg", true
+	case TagRegistered:
+		return "registered", true
+	case TagSnapshot:
+		return "snapshot", true
+	case TagRestore:
+		return "restore", true
+	case TagStateAck:
+		return "state_ack", true
+	}
+	return "", false
+}
+
+// BeginForward opens a forward frame: the envelope (route index +
+// topology epoch) is written here and the caller appends the verbatim
+// update payload bytes — no re-encode of the update — then calls
+// FinishFrame. Splitting the write this way keeps router forwarding
+// zero-copy: the downstream payload slice is appended as-is.
+func (w *Writer) BeginForward(idx uint32, epoch int64) {
+	w.begin(TagForward)
+	w.scratch = AppendU32(w.scratch, idx)
+	w.scratch = AppendI64(w.scratch, epoch)
+}
+
+// AppendPayload appends raw payload bytes to the frame opened by a
+// Begin* call.
+func (w *Writer) AppendPayload(p []byte) {
+	w.scratch = append(w.scratch, p...)
+}
+
+// FinishFrame closes a frame opened by a Begin* call.
+func (w *Writer) FinishFrame() error { return w.finish() }
+
+// RawFrame buffers a frame with the given tag and a verbatim payload —
+// the relay path for frames a router passes through undecoded (e.g. a
+// source's trace frame on its way to the owning shard).
+func (w *Writer) RawFrame(tag Tag, payload []byte) error {
+	w.begin(tag)
+	w.scratch = append(w.scratch, payload...)
+	return w.finish()
+}
+
+// Forward buffers one complete forward frame wrapping an encoded
+// update payload.
+func (w *Writer) Forward(idx uint32, epoch int64, updatePayload []byte) error {
+	w.BeginForward(idx, epoch)
+	w.AppendPayload(updatePayload)
+	return w.finish()
+}
+
+// ForwardEnvelope is the decoded forward header; Payload is the
+// standard update payload that follows it (aliasing the frame buffer —
+// decode before the next read).
+type ForwardEnvelope struct {
+	Idx     uint32
+	Epoch   int64
+	Payload []byte
+}
+
+// DecodeForward splits a forward payload into its envelope and the
+// wrapped update payload. The update itself is decoded separately with
+// the usual update decoder.
+func DecodeForward(p []byte) (ForwardEnvelope, error) {
+	if len(p) < 12 {
+		return ForwardEnvelope{}, malformed(TagForward)
+	}
+	c := NewCursor(p)
+	env := ForwardEnvelope{Idx: c.U32(), Epoch: c.I64()}
+	env.Payload = p[12:]
+	return env, nil
+}
+
+// ForwardAck buffers a cumulative per-route acknowledgement.
+func (w *Writer) ForwardAck(idx uint32, seq int64) error {
+	w.begin(TagForwardAck)
+	w.scratch = AppendU32(w.scratch, idx)
+	w.scratch = AppendI64(w.scratch, seq)
+	return w.finish()
+}
+
+// DecodeForwardAck parses a forward-ack payload.
+func DecodeForwardAck(p []byte) (idx uint32, seq int64, err error) {
+	c := NewCursor(p)
+	idx = c.U32()
+	seq = c.I64()
+	if !c.Done() {
+		return 0, 0, malformed(TagForwardAck)
+	}
+	return idx, seq, nil
+}
+
+// Remote registration kinds carried by TagClusterReg.
+const (
+	RegPlain     byte = 0 // a single-source continuous query
+	RegAggregate byte = 1 // a (partial) aggregate query
+)
+
+// ClusterQuery is a remotely registered single-source query.
+type ClusterQuery struct {
+	ID       string
+	SourceID string
+	Model    string
+	Delta    float64
+	F        float64
+}
+
+// ClusterAggregate is a remotely registered aggregate. Partial marks a
+// shard-local partial whose answer is the exact-sum expansion (or
+// local extremum) the router merges, rather than a finished scalar.
+type ClusterAggregate struct {
+	ID        string
+	Func      string
+	Model     string
+	Delta     float64
+	F         float64
+	Partial   bool
+	SourceIDs []string
+}
+
+// RegisterQuery buffers a plain remote registration.
+func (w *Writer) RegisterQuery(q ClusterQuery) error {
+	w.begin(TagClusterReg)
+	w.scratch = append(w.scratch, RegPlain)
+	var err error
+	if w.scratch, err = AppendString(w.scratch, q.ID); err != nil {
+		return err
+	}
+	if w.scratch, err = AppendString(w.scratch, q.SourceID); err != nil {
+		return err
+	}
+	if w.scratch, err = AppendString(w.scratch, q.Model); err != nil {
+		return err
+	}
+	w.scratch = AppendF64(w.scratch, q.Delta)
+	w.scratch = AppendF64(w.scratch, q.F)
+	return w.finish()
+}
+
+// RegisterAggregate buffers an aggregate remote registration.
+func (w *Writer) RegisterAggregate(q ClusterAggregate) error {
+	if len(q.SourceIDs) > math.MaxUint16 {
+		return fmt.Errorf("wire: aggregate with %d sources exceeds %d", len(q.SourceIDs), math.MaxUint16)
+	}
+	w.begin(TagClusterReg)
+	w.scratch = append(w.scratch, RegAggregate)
+	var err error
+	if w.scratch, err = AppendString(w.scratch, q.ID); err != nil {
+		return err
+	}
+	if w.scratch, err = AppendString(w.scratch, q.Func); err != nil {
+		return err
+	}
+	if w.scratch, err = AppendString(w.scratch, q.Model); err != nil {
+		return err
+	}
+	w.scratch = AppendF64(w.scratch, q.Delta)
+	w.scratch = AppendF64(w.scratch, q.F)
+	var flags byte
+	if q.Partial {
+		flags |= 1
+	}
+	w.scratch = append(w.scratch, flags)
+	w.scratch = AppendU16(w.scratch, uint16(len(q.SourceIDs)))
+	for _, src := range q.SourceIDs {
+		if w.scratch, err = AppendString(w.scratch, src); err != nil {
+			return err
+		}
+	}
+	return w.finish()
+}
+
+// DecodeClusterReg parses a remote registration payload. Exactly one
+// of the returns is meaningful, selected by kind.
+func DecodeClusterReg(p []byte) (kind byte, q ClusterQuery, agg ClusterAggregate, err error) {
+	c := NewCursor(p)
+	kind = c.U8()
+	switch kind {
+	case RegPlain:
+		q.ID = string(c.Str())
+		q.SourceID = string(c.Str())
+		q.Model = string(c.Str())
+		q.Delta = c.F64()
+		q.F = c.F64()
+		if !c.Done() {
+			return 0, ClusterQuery{}, ClusterAggregate{}, malformed(TagClusterReg)
+		}
+		return kind, q, ClusterAggregate{}, nil
+	case RegAggregate:
+		agg.ID = string(c.Str())
+		agg.Func = string(c.Str())
+		agg.Model = string(c.Str())
+		agg.Delta = c.F64()
+		agg.F = c.F64()
+		agg.Partial = c.U8()&1 != 0
+		n := int(c.U16())
+		if !c.OK() || n > len(p) {
+			return 0, ClusterQuery{}, ClusterAggregate{}, malformed(TagClusterReg)
+		}
+		agg.SourceIDs = make([]string, n)
+		for i := range agg.SourceIDs {
+			agg.SourceIDs[i] = string(c.Str())
+		}
+		if !c.Done() {
+			return 0, ClusterQuery{}, ClusterAggregate{}, malformed(TagClusterReg)
+		}
+		return kind, ClusterQuery{}, agg, nil
+	default:
+		return 0, ClusterQuery{}, ClusterAggregate{}, malformed(TagClusterReg)
+	}
+}
+
+// Registered buffers a registration acknowledgement.
+func (w *Writer) Registered(id string) error {
+	w.begin(TagRegistered)
+	var err error
+	if w.scratch, err = AppendString(w.scratch, id); err != nil {
+		return err
+	}
+	return w.finish()
+}
+
+// DecodeRegistered parses a registration acknowledgement.
+func DecodeRegistered(p []byte) (id string, err error) {
+	c := NewCursor(p)
+	b := c.Str()
+	if !c.Done() || b == nil {
+		return "", malformed(TagRegistered)
+	}
+	return string(b), nil
+}
+
+// Snapshot buffers a migration snapshot request: release sourceID at
+// the given topology epoch and return its checkpoint state.
+func (w *Writer) Snapshot(sourceID string, epoch int64) error {
+	w.begin(TagSnapshot)
+	var err error
+	if w.scratch, err = AppendString(w.scratch, sourceID); err != nil {
+		return err
+	}
+	w.scratch = AppendI64(w.scratch, epoch)
+	return w.finish()
+}
+
+// DecodeSnapshot parses a snapshot request.
+func DecodeSnapshot(p []byte) (sourceID string, epoch int64, err error) {
+	c := NewCursor(p)
+	id := c.Str()
+	epoch = c.I64()
+	if !c.Done() || id == nil {
+		return "", 0, malformed(TagSnapshot)
+	}
+	return string(id), epoch, nil
+}
+
+// Restore buffers a migration restore request carrying one stream's
+// snapshot payload (as produced by the snapshot state-ack).
+func (w *Writer) Restore(epoch int64, payload []byte) error {
+	w.begin(TagRestore)
+	w.scratch = AppendI64(w.scratch, epoch)
+	w.scratch = AppendU32(w.scratch, uint32(len(payload)))
+	w.scratch = append(w.scratch, payload...)
+	return w.finish()
+}
+
+// DecodeRestore parses a restore request. The payload aliases p.
+func DecodeRestore(p []byte) (epoch int64, payload []byte, err error) {
+	c := NewCursor(p)
+	epoch = c.I64()
+	n := int(c.U32())
+	payload = c.Take(n)
+	if !c.Done() || payload == nil {
+		return 0, nil, malformed(TagRestore)
+	}
+	return epoch, payload, nil
+}
+
+// StateAck is the decoded reply to Snapshot and Restore requests.
+// After a snapshot, Payload carries the released stream's checkpoint
+// state; after a restore it is empty.
+type StateAck struct {
+	SourceID  string
+	ResumeSeq int64
+	Epoch     int64
+	Payload   []byte
+}
+
+// WriteStateAck buffers a snapshot/restore acknowledgement.
+func (w *Writer) WriteStateAck(a StateAck) error {
+	w.begin(TagStateAck)
+	var err error
+	if w.scratch, err = AppendString(w.scratch, a.SourceID); err != nil {
+		return err
+	}
+	w.scratch = AppendI64(w.scratch, a.ResumeSeq)
+	w.scratch = AppendI64(w.scratch, a.Epoch)
+	w.scratch = AppendU32(w.scratch, uint32(len(a.Payload)))
+	w.scratch = append(w.scratch, a.Payload...)
+	return w.finish()
+}
+
+// DecodeStateAck parses a snapshot/restore acknowledgement. The
+// payload is copied: state acks are rare and callers retain them
+// across reads.
+func DecodeStateAck(p []byte) (StateAck, error) {
+	c := NewCursor(p)
+	var a StateAck
+	id := c.Str()
+	a.ResumeSeq = c.I64()
+	a.Epoch = c.I64()
+	n := int(c.U32())
+	payload := c.Take(n)
+	if !c.Done() || id == nil || payload == nil {
+		return StateAck{}, malformed(TagStateAck)
+	}
+	a.SourceID = string(id)
+	a.Payload = append([]byte(nil), payload...)
+	return a, nil
+}

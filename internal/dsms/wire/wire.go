@@ -107,6 +107,9 @@ func (t Tag) String() string {
 	case TagTrace:
 		return "trace"
 	default:
+		if name, ok := clusterTagName(t); ok {
+			return name
+		}
 		return fmt.Sprintf("tag(0x%02x)", byte(t))
 	}
 }
@@ -617,6 +620,15 @@ func (c *Cursor) Str() []byte {
 
 // OK reports whether every read so far stayed in bounds.
 func (c *Cursor) OK() bool { return c.ok }
+
+// Remaining returns the number of unconsumed bytes — a cheap sanity
+// bound for decoded element counts before allocating for them.
+func (c *Cursor) Remaining() int {
+	if !c.ok {
+		return 0
+	}
+	return len(c.b) - c.off
+}
 
 // Done reports a fully and exactly consumed payload.
 func (c *Cursor) Done() bool { return c.ok && c.off == len(c.b) }

@@ -43,6 +43,7 @@ import (
 	"streamkf/internal/core"
 	"streamkf/internal/cql"
 	"streamkf/internal/dsms"
+	"streamkf/internal/dsms/cluster"
 	"streamkf/internal/gen"
 	"streamkf/internal/kalman"
 	"streamkf/internal/mat"
@@ -355,6 +356,32 @@ func DialSourceUDP(addr, sourceID string, catalog *Catalog, opts UDPDialOptions)
 func DialUDPBatcher(addr string, flushBytes int) (*UDPBatcher, error) {
 	return dsms.DialUDPBatcher(addr, flushBytes)
 }
+
+// Sharded cluster mode: a consistent-hash router fronting several
+// shard servers with the unmodified source protocol (DESIGN.md §17).
+type (
+	// ClusterRouter forwards sources to their owning shards, merges
+	// cross-shard aggregate partials bit-identically, and migrates
+	// live streams by checkpoint snapshot.
+	ClusterRouter = cluster.Router
+	// ClusterOptions tunes a ClusterRouter (vnodes, aggregate
+	// re-suppression budget, telemetry).
+	ClusterOptions = cluster.Options
+	// PlacementRing is the consistent-hash ring mapping source ids to
+	// shards, with virtual nodes, pins and a topology epoch.
+	PlacementRing = cluster.Ring
+)
+
+// NewClusterRouter starts a router on listenAddr fronting the given
+// shard servers (shardAddrs[i] is shard index i). Call Serve to accept
+// sources.
+func NewClusterRouter(listenAddr string, shardAddrs []string, opts ClusterOptions) (*ClusterRouter, error) {
+	return cluster.NewRouter(listenAddr, shardAddrs, opts)
+}
+
+// NewPlacementRing builds a standalone placement ring over shards
+// 0..shards-1 (vnodes 0 means the default).
+func NewPlacementRing(shards, vnodes int) *PlacementRing { return cluster.NewRing(shards, vnodes) }
 
 // Aggregate continuous queries and the query language.
 type (
