@@ -23,7 +23,17 @@
 //
 // The -admin listener serves /metrics (per-shard forward counters and
 // latency histograms, connection gauges), /ringz (the placement ring as
-// JSON: epochs, pins, shard liveness), /healthz, and /debug/pprof.
+// JSON: epochs, pins, shard liveness), /healthz (the rolled-up cluster
+// verdict), /statusz and /clusterz (the federated fleet view — point
+// each -shard-admin flag at the matching shard's admin address, in
+// -shard order), /eventz (the topology event log), and /debug/pprof.
+//
+// With -trace the router records fwd_rx/fwd_tx/fwd_ack flight-recorder
+// events for traced forwards and serves /tracez plus
+// /tracez/stream/{id}, which splices the router's hop events into the
+// owning shard's trail (fetched from its -shard-admin endpoint) for
+// the full source→router→shard chain. Tracing also needs -trace on
+// the shards and a traced source.
 //
 // With -udp the router also accepts the connectionless datagram
 // transport and forwards those updates over the pooled shard
@@ -99,19 +109,24 @@ func parseAgg(s string) (dsms.AggregateQuery, error) {
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7474", "source-facing address to listen on")
-		admin     = flag.String("admin", "127.0.0.1:7475", "admin HTTP address for /metrics, /ringz, /healthz, /debug/pprof (empty disables)")
-		udpListen = flag.String("udp", "", "also accept the connectionless datagram transport on this address (empty disables)")
-		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
-		vnodes    = flag.Int("vnodes", 0, "virtual nodes per shard on the placement ring (0 = 64)")
-		maxFrame  = flag.Int("maxframe", 0, "max accepted wire frame size in bytes (0 = 1 MiB default)")
-		beta      = flag.Float64("agg-suppress", 0, "cluster budget split β in [0,1): shards run partials at (1-β)Δ, the router re-suppresses within βΔ; 0 reproduces single-server answers exactly")
-		reconnect = flag.Duration("reconnect-every", 2*time.Second, "probe interval for lost shards (0 disables auto-reconnect)")
-		shards    stringsFlag
-		queries   stringsFlag
-		aggs      stringsFlag
+		listen      = flag.String("listen", "127.0.0.1:7474", "source-facing address to listen on")
+		admin       = flag.String("admin", "127.0.0.1:7475", "admin HTTP address for /metrics, /ringz, /healthz, /debug/pprof (empty disables)")
+		udpListen   = flag.String("udp", "", "also accept the connectionless datagram transport on this address (empty disables)")
+		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		vnodes      = flag.Int("vnodes", 0, "virtual nodes per shard on the placement ring (0 = 64)")
+		maxFrame    = flag.Int("maxframe", 0, "max accepted wire frame size in bytes (0 = 1 MiB default)")
+		beta        = flag.Float64("agg-suppress", 0, "cluster budget split β in [0,1): shards run partials at (1-β)Δ, the router re-suppresses within βΔ; 0 reproduces single-server answers exactly")
+		reconnect   = flag.Duration("reconnect-every", 2*time.Second, "probe interval for lost shards (0 disables auto-reconnect)")
+		doTrace     = flag.Bool("trace", false, "record forwarding flight-recorder events and serve /tracez on the admin listener")
+		traceRing   = flag.Int("trace-ring", 0, "per-route trace ring size (0 = default)")
+		eventCap    = flag.Int("event-cap", 0, "topology event log capacity (0 = 256)")
+		shards      stringsFlag
+		shardAdmins stringsFlag
+		queries     stringsFlag
+		aggs        stringsFlag
 	)
 	flag.Var(&shards, "shard", "shard server address, repeatable; order defines shard indices")
+	flag.Var(&shardAdmins, "shard-admin", "shard admin HTTP address, repeatable, in -shard order; feeds /clusterz and trail splicing")
 	flag.Var(&queries, "query", "continuous query id:source:model:delta[:F] (repeatable)")
 	flag.Var(&aggs, "agg", "cross-shard aggregate id:func:model:delta:src1,src2,...[:F] (repeatable)")
 	flag.Parse()
@@ -127,11 +142,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	if len(shardAdmins) > 0 && len(shardAdmins) != len(shards) {
+		logger.Error("-shard-admin count must match -shard count", "shards", len(shards), "admins", len(shardAdmins))
+		os.Exit(2)
+	}
+
 	router, err := cluster.NewRouter(*listen, shards, cluster.Options{
 		VNodes:      *vnodes,
 		MaxFrame:    *maxFrame,
 		AggSuppress: *beta,
 		Logger:      logger,
+		Trace:       *doTrace,
+		TraceRing:   *traceRing,
+		ShardAdmins: shardAdmins,
+		EventCap:    *eventCap,
 	})
 	if err != nil {
 		logger.Error("router start failed", "err", err)

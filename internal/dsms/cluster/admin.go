@@ -2,18 +2,36 @@ package cluster
 
 import (
 	"encoding/json"
+	"fmt"
+	"html"
 	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"streamkf/internal/dsms"
+	"streamkf/internal/trace"
 )
 
 // Router admin endpoints, mirroring the shard server's admin surface
-// (internal/dsms/admin.go): /metrics for scrapes, /healthz for
-// liveness, /ringz for the placement picture, pprof for profiles.
+// (internal/dsms/admin.go):
+//
+//	/metrics            Prometheus text exposition of the router registry
+//	/healthz            rolled-up cluster verdict: ok|degraded|unhealthy (?verbose=1 for JSON)
+//	/statusz            cluster dashboard (HTML)
+//	/clusterz           federated fleet view (HTML; ?format=json for the document)
+//	/ringz              the placement picture: epoch, shards, pins, routes
+//	/eventz             the topology event log, newest first (?limit=)
+//	/tracez             recent forwarding trace events (?source=&kind=&decision=&limit=)
+//	/tracez/stream/{id} spliced source→router→shard trail for one stream
+//	/debug/pprof/*      the standard Go profiling endpoints
+//
+// Every response carries Cache-Control: no-store — these are live
+// state, and a cached cluster verdict is worse than none.
 
 // Ringz is the /ringz document: the topology as this router sees it.
 type Ringz struct {
@@ -59,15 +77,280 @@ func (r *Router) RingzSnapshot() Ringz {
 	return z
 }
 
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
 // RingzHandler serves the topology as JSON.
 func RingzHandler(r *Router) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(r.RingzSnapshot())
+		writeJSON(w, r.RingzSnapshot())
 	}
 }
+
+// HealthzHandler serves the rolled-up cluster verdict: 200 for ok and
+// degraded (the cluster still ingests), 503 for unhealthy — a dead
+// upstream data connection or an unhealthy shard. Plain text
+// `<status>\n` by default; `?verbose=1` returns the full /clusterz
+// document. Each probe polls the shard admin endpoints, so the probe
+// interval bounds the federation staleness.
+func HealthzHandler(r *Router) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		cz := r.Clusterz()
+		code := http.StatusOK
+		if cz.Status == "unhealthy" {
+			code = http.StatusServiceUnavailable
+		}
+		if req.URL.Query().Get("verbose") != "" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(cz)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(code)
+		fmt.Fprintf(w, "%s\n", cz.Status)
+	}
+}
+
+// eventzResponse is the /eventz document.
+type eventzResponse struct {
+	// Total counts every event ever recorded; Events holds the newest
+	// Count of them still in the ring.
+	Total  uint64      `json:"total"`
+	Count  int         `json:"count"`
+	Events []TopoEvent `json:"events"`
+}
+
+// EventzHandler serves the topology event log, newest first.
+// Parameters: limit (default: the whole ring).
+func EventzHandler(r *Router) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		evs, total := r.events.Events()
+		if v := req.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad limit: "+v, http.StatusBadRequest)
+				return
+			}
+			if n < len(evs) {
+				evs = evs[:n]
+			}
+		}
+		writeJSON(w, eventzResponse{Total: total, Count: len(evs), Events: evs})
+	}
+}
+
+// ClusterzHandler serves the federated fleet view: HTML by default,
+// the JSON document with ?format=json.
+func ClusterzHandler(r *Router) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		cz := r.Clusterz()
+		if req.URL.Query().Get("format") == "json" {
+			writeJSON(w, cz)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		var b strings.Builder
+		b.WriteString("<!DOCTYPE html><html><head><title>dkf clusterz</title>")
+		b.WriteString(clusterStyle)
+		b.WriteString("</head><body><h1>DKF cluster fleet</h1>")
+		b.WriteString(routerNav)
+		fmt.Fprintf(&b, `<p>Cluster: <span class="badge %s">%s</span> <span class="muted">epoch %d · %d migrations · %d topology events</span></p>`,
+			badgeClass(cz.Status), cz.Status, cz.Epoch, cz.MigrationsTotal, cz.EventsTotal)
+		b.WriteString("<h2>Shards</h2><table><tr><th class=num>shard</th><th>addr</th><th>conn</th><th>verdict</th><th class=num>up</th><th class=num>ingest/s</th><th class=num>shed/s</th><th class=num>errors/s</th><th class=num>ckpt age</th><th class=num>routes</th><th class=num>pending</th><th class=num>forwarded</th><th>detail</th></tr>")
+		for _, sh := range cz.Shards {
+			conn := "up"
+			if !sh.Connected {
+				conn = `<span class="active">down</span>`
+			}
+			age := "—"
+			if sh.WALCheckpointAgeSeconds >= 0 {
+				age = fmt.Sprintf("%.1fs", sh.WALCheckpointAgeSeconds)
+			}
+			detail := sh.Error
+			for _, reason := range sh.Reasons {
+				if detail != "" {
+					detail += "; "
+				}
+				detail += reason.Signal
+			}
+			fmt.Fprintf(&b, `<tr><td class=num>%d</td><td>%s</td><td>%s</td><td><span class="badge %s">%s</span></td><td class=num>%s</td><td class=num>%.3g</td><td class=num>%.3g</td><td class=num>%.3g</td><td class=num>%s</td><td class=num>%d</td><td class=num>%d</td><td class=num>%d</td><td class="muted">%s</td></tr>`,
+				sh.Shard, html.EscapeString(sh.Addr), conn, badgeClass(sh.Status), sh.Status,
+				(time.Duration(sh.UptimeSeconds * float64(time.Second))).Truncate(time.Second),
+				sh.IngestRatePerSec, sh.ShedRatePerSec, sh.ErrorRatePerSec, age,
+				sh.Routes, sh.PendingUpdates, sh.ForwardedTotal, html.EscapeString(detail))
+		}
+		b.WriteString("</table>")
+		writeEventTable(&b, r, 20)
+		b.WriteString("</body></html>")
+		fmt.Fprint(w, b.String())
+	}
+}
+
+// badgeClass maps a verdict to its dashboard badge style; statuses the
+// stylesheet doesn't know (unreachable, unknown) render grey.
+func badgeClass(status string) string {
+	switch status {
+	case "ok", "degraded", "unhealthy":
+		return status
+	}
+	return "grey"
+}
+
+// writeEventTable appends the newest topology events to an HTML page.
+func writeEventTable(b *strings.Builder, r *Router, limit int) {
+	evs, total := r.events.Events()
+	if len(evs) > limit {
+		evs = evs[:limit]
+	}
+	if len(evs) == 0 {
+		return
+	}
+	fmt.Fprintf(b, `<h2>Topology events <span class="muted">(%d of %d)</span></h2>`, len(evs), total)
+	b.WriteString("<table><tr><th>when</th><th>kind</th><th class=num>shard</th><th>stream</th><th>detail</th><th class=num>ms</th></tr>")
+	for _, ev := range evs {
+		dur := ""
+		if ev.DurMs > 0 {
+			dur = fmt.Sprintf("%.2f", ev.DurMs)
+		}
+		fmt.Fprintf(b, `<tr><td class="muted">%s</td><td>%s</td><td class=num>%d</td><td>%s</td><td class="muted">%s</td><td class=num>%s</td></tr>`,
+			time.Unix(0, ev.At).UTC().Format("15:04:05.000"), html.EscapeString(ev.Kind), ev.Shard,
+			html.EscapeString(ev.SourceID), html.EscapeString(ev.Detail), dur)
+	}
+	b.WriteString("</table>")
+}
+
+// StatuszHandler serves the router dashboard: the cluster verdict
+// badge, build identity, the ring picture, and recent topology events.
+func StatuszHandler(r *Router) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		var b strings.Builder
+		b.WriteString("<!DOCTYPE html><html><head><title>dkf router statusz</title>")
+		b.WriteString(clusterStyle)
+		b.WriteString("</head><body><h1>DKF router status</h1>")
+		b.WriteString(routerNav)
+
+		cz := r.Clusterz()
+		fmt.Fprintf(&b, `<p>Cluster: <span class="badge %s">%s</span>`, badgeClass(cz.Status), cz.Status)
+		fmt.Fprintf(&b, ` <span class="muted">version %s · %s · up %s · epoch %d</span></p>`,
+			html.EscapeString(dsms.Version), runtime.Version(),
+			time.Since(telEpoch).Truncate(time.Second), cz.Epoch)
+
+		z := r.RingzSnapshot()
+		b.WriteString("<h2>Ring</h2><table><tr><th class=num>shard</th><th>addr</th><th>admin</th><th>conn</th><th>verdict</th><th class=num>routes</th><th class=num>pending</th></tr>")
+		for i, s := range z.Shards {
+			conn := "up"
+			if !s.Alive {
+				conn = `<span class="active">down</span>`
+			}
+			verdict, routes, pending := "unknown", 0, 0
+			if i < len(cz.Shards) {
+				verdict, routes, pending = cz.Shards[i].Status, cz.Shards[i].Routes, cz.Shards[i].PendingUpdates
+			}
+			fmt.Fprintf(&b, `<tr><td class=num>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td class=num>%d</td><td class=num>%d</td></tr>`,
+				s.Index, html.EscapeString(s.Addr), html.EscapeString(r.shardAdmin(s.Index)),
+				conn, verdict, routes, pending)
+		}
+		b.WriteString("</table>")
+		fmt.Fprintf(&b, `<p class="muted">%d routes · %d pins · %d aggregates · trace %v</p>`,
+			z.Routes, len(z.Pins), len(z.Aggregates), r.TraceEnabled())
+		writeEventTable(&b, r, 20)
+		b.WriteString("</body></html>")
+		fmt.Fprint(w, b.String())
+	}
+}
+
+// tracezResponse is the router /tracez document, shaped like the shard
+// server's so one scraper reads both.
+type tracezResponse struct {
+	Enabled bool              `json:"enabled"`
+	Count   int               `json:"count"`
+	Events  []dsms.TraceEntry `json:"events"`
+}
+
+// TracezHandler serves recent forwarding trace events, newest first.
+// Query parameters: source (stream id), kind (event kind name),
+// decision (decision name), limit (default 100).
+func TracezHandler(r *Router) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		limit := 100
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad limit: "+v, http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		var kind trace.Kind
+		if v := q.Get("kind"); v != "" {
+			k, err := trace.ParseKind(v)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			kind = k
+		}
+		var dec trace.Decision
+		if v := q.Get("decision"); v != "" {
+			d, err := trace.ParseDecision(v)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			dec = d
+		}
+		resp := tracezResponse{Enabled: r.TraceEnabled()}
+		resp.Events = r.TraceRecent(limit, q.Get("source"), kind, dec)
+		resp.Count = len(resp.Events)
+		writeJSON(w, resp)
+	}
+}
+
+// TracezStreamHandler serves the spliced cross-node trail for one
+// stream (by source id or query id).
+func TracezStreamHandler(r *Router) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		id := strings.TrimPrefix(req.URL.Path, "/tracez/stream/")
+		if id == "" || strings.Contains(id, "/") {
+			http.Error(w, "usage: /tracez/stream/{source-or-query-id}", http.StatusBadRequest)
+			return
+		}
+		st, err := r.TraceStream(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+	}
+}
+
+// clusterStyle is the router dashboards' inline stylesheet, matching
+// the shard server's statusz look.
+const clusterStyle = `<style>
+body{font-family:system-ui,sans-serif;margin:1.5rem;color:#1a1a1a;max-width:70rem}
+h1{font-size:1.3rem}h2{font-size:1.05rem;margin-top:1.6rem}
+table{border-collapse:collapse;width:100%}
+th,td{text-align:left;padding:.3rem .6rem;border-bottom:1px solid #ddd;font-size:.85rem}
+th{color:#555;font-weight:600}
+.num{text-align:right;font-variant-numeric:tabular-nums}
+.badge{display:inline-block;padding:.15rem .6rem;border-radius:.3rem;color:#fff;font-weight:600}
+.ok{background:#2a7d2a}.degraded{background:#c77d00}.unhealthy{background:#b3261e}.grey{background:#888}
+.active{color:#b3261e;font-weight:600}
+.muted{color:#888}
+nav a{margin-right:1rem}
+</style>`
+
+// routerNav is the shared dashboard navigation bar.
+const routerNav = `<nav><a href="/metrics">/metrics</a><a href="/clusterz">/clusterz</a><a href="/ringz">/ringz</a><a href="/eventz">/eventz</a><a href="/tracez">/tracez</a><a href="/healthz?verbose=1">/healthz</a><a href="/debug/pprof/">/debug/pprof</a></nav>`
 
 // AdminServer is the router's admin HTTP listener.
 type AdminServer struct {
@@ -92,33 +375,21 @@ func ServeAdmin(r *Router, addr string, logger *slog.Logger) (*AdminServer, erro
 	if err != nil {
 		return nil, err
 	}
-	noStore := func(h http.HandlerFunc) http.HandlerFunc {
-		return func(w http.ResponseWriter, req *http.Request) {
-			w.Header().Set("Cache-Control", "no-store")
-			h(w, req)
-		}
-	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", noStore(dsms.MetricsHandler(r.Telemetry())))
-	mux.HandleFunc("/ringz", noStore(RingzHandler(r)))
-	mux.HandleFunc("/healthz", noStore(func(w http.ResponseWriter, req *http.Request) {
-		for _, up := range r.upstreams {
-			up.mu.Lock()
-			alive := up.alive
-			up.mu.Unlock()
-			if !alive {
-				http.Error(w, "upstream shard down", http.StatusServiceUnavailable)
-				return
-			}
-		}
-		w.Write([]byte("ok\n"))
-	}))
+	mux.HandleFunc("/metrics", dsms.MetricsHandler(r.Telemetry()))
+	mux.HandleFunc("/ringz", RingzHandler(r))
+	mux.HandleFunc("/healthz", HealthzHandler(r))
+	mux.HandleFunc("/statusz", StatuszHandler(r))
+	mux.HandleFunc("/clusterz", ClusterzHandler(r))
+	mux.HandleFunc("/eventz", EventzHandler(r))
+	mux.HandleFunc("/tracez", TracezHandler(r))
+	mux.HandleFunc("/tracez/stream/", TracezStreamHandler(r))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: noStore(mux), ReadHeaderTimeout: 10 * time.Second}
 	a := &AdminServer{ln: ln, srv: srv, done: make(chan struct{})}
 	go func() {
 		defer close(a.done)
@@ -127,4 +398,13 @@ func ServeAdmin(r *Router, addr string, logger *slog.Logger) (*AdminServer, erro
 		}
 	}()
 	return a, nil
+}
+
+// noStore wraps the admin mux so every endpoint forbids caching:
+// metrics, verdicts and traces are live state.
+func noStore(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		next.ServeHTTP(w, req)
+	})
 }

@@ -8,6 +8,7 @@ import (
 
 	"streamkf/internal/dsms"
 	"streamkf/internal/stream"
+	"streamkf/internal/trace"
 )
 
 // benchReading constructs a never-suppressed reading: the "constant"
@@ -110,13 +111,67 @@ func benchRouterForwardRouted(b *testing.B) {
 	}
 }
 
+// benchRouterForwardRoutedTraced is the routed workload with the full
+// observability plane on: traced shards, traced router, traced agent.
+// Every update carries a hop-extended trace frame the router decodes,
+// re-stamps and records — and the path must still not allocate beyond
+// the untraced budget (the recorder is a preallocated seqlock ring,
+// the hop rewrite reuses the writer's scratch).
+func benchRouterForwardRoutedTraced(b *testing.B) {
+	catalog := testCatalog()
+	addrs := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		s := dsms.NewServer(testCatalog())
+		s.SetShardInfo(i, 0)
+		s.EnableTracing(trace.Options{})
+		ts, err := dsms.NewTCPServer(s, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go ts.Serve()
+		b.Cleanup(func() { ts.Close() })
+		addrs[i] = ts.Addr()
+	}
+	r, err := NewRouter("127.0.0.1:0", addrs, Options{Trace: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go r.Serve()
+	b.Cleanup(func() { r.Close() })
+	if err := r.RegisterQuery(stream.Query{ID: "q-bench", SourceID: "bench", Delta: 1e-6, Model: "constant"}); err != nil {
+		b.Fatal(err)
+	}
+	agent, err := dsms.DialSourceOptions(r.Addr(), "bench", catalog, dsms.DialOptions{Trace: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer agent.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sent, err := agent.Offer(benchReading(i, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sent {
+			b.Fatal("reading unexpectedly suppressed")
+		}
+	}
+	if err := agent.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkRouterForward measures the per-update cost of the router
 // hop: "direct" is one agent straight into a shard, "routed" is the
-// same agent through a 2-shard dkf-router. The difference is the
-// forwarding tax (BENCH_CLUSTER.json).
+// same agent through a 2-shard dkf-router, "routed-traced" adds
+// cross-hop trace propagation on top. The differences are the
+// forwarding and tracing taxes (BENCH_CLUSTER.json).
 func BenchmarkRouterForward(b *testing.B) {
 	b.Run("direct", benchRouterForwardDirect)
 	b.Run("routed", benchRouterForwardRouted)
+	b.Run("routed-traced", benchRouterForwardRoutedTraced)
 }
 
 // BenchmarkClusterAggregateAnswer measures a cross-shard aggregate
@@ -198,5 +253,44 @@ func TestRouterForwardAllocBudget(t *testing.T) {
 	res := testing.Benchmark(benchRouterForwardRouted)
 	if got := res.AllocsPerOp(); got > budget.AllocsPerOp {
 		t.Fatalf("routed ingest allocates %d/op, budget %d/op (BENCH_CLUSTER.json)", got, budget.AllocsPerOp)
+	}
+}
+
+// TestRouterForwardTracedAllocBudget gates the traced relay: turning
+// on cross-hop trace propagation must not add a single steady-state
+// allocation over the untraced routed path — the gate compares the
+// traced run against the routed-traced budget AND the plain routed
+// budget pinned in BENCH_CLUSTER.json.
+func TestRouterForwardTracedAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a benchmark")
+	}
+	raw, err := os.ReadFile("../../../BENCH_CLUSTER.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks map[string]struct {
+			AllocsPerOp int64 `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parse BENCH_CLUSTER.json: %v", err)
+	}
+	routed, ok := doc.Benchmarks["BenchmarkRouterForward/routed"]
+	if !ok {
+		t.Fatal("BENCH_CLUSTER.json has no BenchmarkRouterForward/routed entry")
+	}
+	traced, ok := doc.Benchmarks["BenchmarkRouterForward/routed-traced"]
+	if !ok {
+		t.Fatal("BENCH_CLUSTER.json has no BenchmarkRouterForward/routed-traced entry")
+	}
+	if traced.AllocsPerOp > routed.AllocsPerOp {
+		t.Fatalf("BENCH_CLUSTER.json pins traced at %d allocs/op above untraced %d — tracing must be alloc-free",
+			traced.AllocsPerOp, routed.AllocsPerOp)
+	}
+	res := testing.Benchmark(benchRouterForwardRoutedTraced)
+	if got := res.AllocsPerOp(); got > routed.AllocsPerOp {
+		t.Fatalf("traced relay allocates %d/op, untraced budget %d/op (BENCH_CLUSTER.json)", got, routed.AllocsPerOp)
 	}
 }

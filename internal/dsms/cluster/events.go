@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"sync"
+
+	"streamkf/internal/telemetry"
+	"streamkf/internal/trace"
+)
+
+// Topology event kinds. Events record the cluster's control-plane
+// history — who connected, what moved, when epochs advanced — so a
+// migration or crash leaves an auditable trail at /eventz even after
+// its log lines scroll away.
+const (
+	EvShardConnect      = "shard_connect"
+	EvShardDisconnect   = "shard_disconnect"
+	EvShardReconnect    = "shard_reconnect"
+	EvMigrationStart    = "migration_start"
+	EvMigrationComplete = "migration_complete"
+	EvPin               = "pin"
+	EvEpochBump         = "epoch_bump"
+)
+
+// TopoEvent is one structured topology event.
+type TopoEvent struct {
+	At       int64   `json:"at_unix_ns"`
+	Kind     string  `json:"kind"`
+	Shard    int     `json:"shard"`
+	SourceID string  `json:"source_id,omitempty"`
+	Detail   string  `json:"detail,omitempty"`
+	DurMs    float64 `json:"duration_ms,omitempty"`
+}
+
+// defaultEventCap bounds the event ring. Topology events are rare
+// (connections, migrations, epochs — not per-update), so a small ring
+// holds days of history.
+const defaultEventCap = 256
+
+// eventLog is a bounded mutex-guarded ring of topology events. The
+// control-plane paths that record into it (connect, fail, migrate) are
+// not hot paths, so a plain mutex is the right tool — no seqlock.
+type eventLog struct {
+	reg *telemetry.Registry
+
+	mu    sync.Mutex
+	buf   []TopoEvent
+	next  int    // ring write cursor
+	total uint64 // lifetime count (detects wrap)
+}
+
+func newEventLog(reg *telemetry.Registry, capacity int) *eventLog {
+	if capacity <= 0 {
+		capacity = defaultEventCap
+	}
+	return &eventLog{reg: reg, buf: make([]TopoEvent, 0, capacity)}
+}
+
+// record appends one event, stamping At (trace-clock unix nanoseconds,
+// so event times sort consistently against trace trails) when zero.
+func (l *eventLog) record(ev TopoEvent) {
+	if l == nil {
+		return
+	}
+	if ev.At == 0 {
+		ev.At = trace.Now()
+	}
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, ev)
+	} else {
+		l.buf[l.next] = ev
+	}
+	l.next = (l.next + 1) % cap(l.buf)
+	l.total++
+	l.mu.Unlock()
+	if l.reg != nil {
+		l.reg.Counter("dkf_router_topology_events_total",
+			"Topology events recorded by the router, by kind.",
+			telemetry.L("kind", ev.Kind)).Inc()
+	}
+}
+
+// Events returns a newest-first snapshot of the retained events and
+// the lifetime total (total > len(events) means the ring wrapped and
+// older events were dropped).
+func (l *eventLog) Events() ([]TopoEvent, uint64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TopoEvent, 0, len(l.buf))
+	// The ring's oldest entry sits at next when full, at 0 otherwise;
+	// walk backwards from the newest.
+	n := len(l.buf)
+	for i := 0; i < n; i++ {
+		idx := (l.next - 1 - i + n) % n
+		out = append(out, l.buf[idx])
+	}
+	return out, l.total
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"streamkf/internal/dsms/wire"
+	"streamkf/internal/trace"
 )
 
 // Live stream migration. The sequence, with the route lock held end to
@@ -58,6 +59,11 @@ func (r *Router) Migrate(sourceID string, target int) error {
 	}
 	oldUp, newUp := r.upstreams[rt.shard], r.upstreams[target]
 	epoch := r.ring.Epoch() + 1 // the epoch Pin will establish below
+	migStart := trace.Now()
+	r.events.record(TopoEvent{
+		Kind: EvMigrationStart, Shard: oldUp.shard, SourceID: sourceID,
+		Detail: fmt.Sprintf("to shard %d", target),
+	})
 
 	reply, err := oldUp.rpc(func(w *wire.Writer) error { return w.Snapshot(sourceID, epoch) })
 	if err != nil {
@@ -126,6 +132,19 @@ func (r *Router) Migrate(sourceID string, target int) error {
 	rt.shard = target
 	rt.epoch = r.ring.Epoch()
 	r.tel.migrations.Inc()
+	r.events.record(TopoEvent{
+		Kind: EvPin, Shard: target, SourceID: sourceID,
+		Detail: fmt.Sprintf("pinned off shard %d", oldUp.shard),
+	})
+	r.events.record(TopoEvent{
+		Kind: EvEpochBump, Shard: target,
+		Detail: fmt.Sprintf("epoch %d", rt.epoch),
+	})
+	r.events.record(TopoEvent{
+		Kind: EvMigrationComplete, Shard: target, SourceID: sourceID,
+		Detail: fmt.Sprintf("from shard %d, resume seq %d", oldUp.shard, resume),
+		DurMs:  float64(trace.Now()-migStart) / 1e6,
+	})
 	r.log.Info("stream migrated", "source", sourceID, "from", oldUp.shard, "to", target, "resume_seq", resume)
 
 	// The transferred prefix is durable on the target; release the

@@ -13,6 +13,7 @@ import (
 	"streamkf/internal/dsms/wire"
 	"streamkf/internal/stream"
 	"streamkf/internal/telemetry"
+	"streamkf/internal/trace"
 )
 
 // The Router is the cluster's front door. Sources speak the unmodified
@@ -57,6 +58,21 @@ type Options struct {
 	Registry *telemetry.Registry
 	// Logger, nil for silent.
 	Logger *slog.Logger
+	// Trace enables the router's own flight recorders: each route gets
+	// a seqlock event ring recording fwd_rx/fwd_tx/fwd_ack for traced
+	// updates, and forwards to hop-capable shards carry the router's
+	// timestamps (wire.FeatHopTrace) so the shard can splice the hop
+	// into the stream's own trail.
+	Trace bool
+	// TraceRing is the per-route event capacity (0 = trace default).
+	TraceRing int
+	// ShardAdmins lists each shard's admin endpoint address (host:port,
+	// parallel to the shard address list). Optional; when set, the
+	// router's /clusterz federates shard health and /tracez/stream/{id}
+	// splices the owning shard's trail into the router's hop events.
+	ShardAdmins []string
+	// EventCap bounds the topology event ring (0 = 256).
+	EventCap int
 }
 
 // Router accepts v2-protocol sources and fronts a set of shard servers.
@@ -68,6 +84,8 @@ type Router struct {
 	maxFrame  int
 	upstreams []*upstream
 	downFeats byte // features advertised to sources
+
+	events *eventLog
 
 	ln      net.Listener
 	udp     net.PacketConn
@@ -102,10 +120,13 @@ type routerAgg struct {
 // pendEntry is one forwarded-but-unacked update: its seq, the verbatim
 // update payload (kept for replay after shard failure or migration
 // cutover), and the monotonic send stamp for the latency histogram.
+// traceID is nonzero when the forward carried hop-trace evidence; the
+// ack pump then records the fwd_ack event under the same id.
 type pendEntry struct {
-	seq    int64
-	sentNs int64
-	buf    []byte
+	seq     int64
+	sentNs  int64
+	traceID int64
+	buf     []byte
 }
 
 // route is the per-stream forwarding state.
@@ -121,6 +142,12 @@ type route struct {
 	pending []pendEntry
 	free    [][]byte
 	down    *downConn
+
+	// rec is the route's flight recorder (nil unless Options.Trace):
+	// fwd_rx/fwd_tx/fwd_ack events for traced updates through this
+	// route. Written under rt.mu (forward) and pendMu (ack pump) but
+	// the recorder itself is a wait-free seqlock — no extra locking.
+	rec *trace.Recorder
 }
 
 // downConn serialises writes to one downstream source connection.
@@ -195,12 +222,14 @@ func NewRouter(listenAddr string, shardAddrs []string, opts Options) (*Router, e
 	if log == nil {
 		log = telemetry.NopLogger()
 	}
+	tel := newRouterTelemetry(opts.Registry, len(shardAddrs))
 	r := &Router{
 		ring:     NewRing(len(shardAddrs), opts.VNodes),
 		opts:     opts,
-		tel:      newRouterTelemetry(opts.Registry, len(shardAddrs)),
+		tel:      tel,
 		log:      log,
 		maxFrame: maxFrame,
+		events:   newEventLog(tel.reg, opts.EventCap),
 		conns:    make(map[net.Conn]struct{}),
 		routes:   make(map[string]*route),
 		queries:  make(map[string]stream.Query),
@@ -216,12 +245,17 @@ func NewRouter(listenAddr string, shardAddrs []string, opts Options) (*Router, e
 	}
 	// Sources get trace relay only when every shard can accept it: a
 	// migration must not strand a traced stream on a shard that would
-	// reject the frames.
-	r.downFeats = wire.FeatTrace
+	// reject the frames. The hop-timestamp extension degrades the same
+	// way: advertised downstream only when every shard accepts it, so a
+	// mixed fleet falls back to plain 65-byte trace relay everywhere.
+	r.downFeats = wire.FeatTrace | wire.FeatHopTrace
 	for _, up := range r.upstreams {
 		up.mu.Lock()
 		if up.feats&wire.FeatTrace == 0 {
 			r.downFeats = 0
+		}
+		if up.feats&wire.FeatHopTrace == 0 {
+			r.downFeats &^= wire.FeatHopTrace
 		}
 		up.mu.Unlock()
 	}
@@ -348,6 +382,7 @@ func (up *upstream) connect() error {
 	up.dead = dead
 	up.mu.Unlock()
 	up.router.tel.upstreamConns.Add(1)
+	up.router.events.record(TopoEvent{Kind: EvShardConnect, Shard: up.shard, Detail: up.addr})
 	go up.readLoop(rd, conn, dead)
 	return nil
 }
@@ -370,6 +405,7 @@ func (up *upstream) fail(err error) {
 		conn.Close()
 	}
 	up.router.tel.upstreamConns.Add(-1)
+	up.router.events.record(TopoEvent{Kind: EvShardDisconnect, Shard: up.shard, Detail: err.Error()})
 	up.router.log.Warn("upstream shard lost", "shard", up.shard, "err", err)
 }
 
@@ -487,10 +523,21 @@ func (r *Router) pumpAck(shard int, idx uint32, seq int64) {
 	hist := r.tel.fwdLatency[shard]
 	rt.pendMu.Lock()
 	n := 0
+	var ackAt int64
 	for n < len(rt.pending) && rt.pending[n].seq <= seq {
-		hist.Observe(now - rt.pending[n].sentNs)
-		rt.free = append(rt.free, rt.pending[n].buf[:0])
-		rt.pending[n].buf = nil
+		e := &rt.pending[n]
+		hist.Observe(now - e.sentNs)
+		if e.traceID != 0 && rt.rec != nil {
+			// One fwd_ack per traced entry the cumulative ack covers,
+			// all stamped with the ack's arrival time.
+			if ackAt == 0 {
+				ackAt = trace.Now()
+			}
+			rt.rec.Record(&trace.Event{TraceID: e.traceID, Seq: e.seq, At: ackAt, Kind: trace.KindFwdAck, Aux: int64(shard)})
+			r.tel.hopShard.Observe(now - e.sentNs)
+		}
+		rt.free = append(rt.free, e.buf[:0])
+		e.buf = nil
 		n++
 	}
 	if n > 0 {
@@ -528,6 +575,9 @@ func (r *Router) routeFor(id []byte) *route {
 		shard:    r.ring.Owner(sid),
 		epoch:    r.ring.Epoch(),
 	}
+	if r.opts.Trace {
+		rt.rec = trace.New(trace.Options{RingSize: r.opts.TraceRing})
+	}
 	r.byIdx = append(r.byIdx, rt)
 	r.routes[sid] = rt
 	return rt
@@ -540,15 +590,40 @@ func (r *Router) routeFor(id []byte) *route {
 // upstream is down — because ReconnectShard and Migrate replay from it;
 // upstream failure is therefore invisible to the source except as acks
 // drying up until its send window backpressures.
-func (r *Router) forward(rt *route, payload, tracePayload []byte, seq int64, flush bool) int {
+//
+// When the router traces (rt.rec != nil), a relayed trace frame is
+// decoded on the stack, re-encoded with this hop's timestamps toward a
+// hop-capable shard (wire.TraceHop), and recorded as fwd_rx/fwd_tx in
+// the route's flight recorder. trRxNs is when the trace frame arrived
+// from the source (trace clock); zero when there is none.
+func (r *Router) forward(rt *route, payload, tracePayload []byte, seq, trRxNs int64, flush bool) int {
 	rt.mu.Lock()
 	shard := rt.shard
 	up := r.upstreams[shard]
+	var tid, txNs, epoch int64
 	up.mu.Lock()
 	if up.err == nil {
 		err := error(nil)
 		if tracePayload != nil && up.feats&wire.FeatTrace != 0 {
-			err = up.w.RawFrame(wire.TagTrace, tracePayload)
+			relay := true
+			if rt.rec != nil {
+				if d, _, _, derr := wire.DecodeTraceExt(tracePayload); derr == nil {
+					tid, txNs, epoch = d.TraceID, trace.Now(), rt.epoch
+					if up.feats&wire.FeatHopTrace != 0 {
+						relay = false
+						err = up.w.TraceHop(&d, wire.TraceHop{
+							Idx: rt.idx, Epoch: rt.epoch,
+							RxUnixNs: trRxNs, TxUnixNs: txNs,
+						})
+					}
+				}
+			}
+			if relay && err == nil {
+				// Verbatim relay: either the router is not tracing or the
+				// shard cannot take the extended payload (it still gets
+				// whatever form the source produced).
+				err = up.w.RawFrame(wire.TagTrace, tracePayload)
+			}
 		}
 		if err == nil {
 			err = up.w.Forward(rt.idx, rt.epoch, payload)
@@ -564,6 +639,11 @@ func (r *Router) forward(rt *route, payload, tracePayload []byte, seq int64, flu
 		}
 	}
 	up.mu.Unlock()
+	if tid != 0 && rt.rec.Sampled(seq) {
+		rt.rec.Record(&trace.Event{TraceID: tid, Seq: seq, At: trRxNs, Kind: trace.KindFwdRx, Aux: int64(rt.idx)})
+		rt.rec.Record(&trace.Event{TraceID: tid, Seq: seq, At: txNs, Kind: trace.KindFwdTx, Aux: epoch})
+		r.tel.hopRouter.Observe(txNs - trRxNs)
+	}
 	now := nowNanos()
 	rt.pendMu.Lock()
 	var buf []byte
@@ -571,7 +651,7 @@ func (r *Router) forward(rt *route, payload, tracePayload []byte, seq int64, flu
 		buf, rt.free = rt.free[n-1], rt.free[:n-1]
 	}
 	buf = append(buf[:0], payload...)
-	rt.pending = append(rt.pending, pendEntry{seq: seq, sentNs: now, buf: buf})
+	rt.pending = append(rt.pending, pendEntry{seq: seq, sentNs: now, traceID: tid, buf: buf})
 	rt.pendMu.Unlock()
 	rt.mu.Unlock()
 	r.tel.forwarded[shard].Inc()
@@ -613,6 +693,7 @@ func (r *Router) handleDown(conn net.Conn) {
 		boundRoutes []*route // routes this conn is the down side of
 		pendTrace   []byte
 		havePend    bool
+		pendRxNs    int64 // when the stashed trace frame arrived
 	)
 	defer func() {
 		for _, rt := range boundRoutes {
@@ -654,10 +735,14 @@ func (r *Router) handleDown(conn net.Conn) {
 			}
 
 		case wire.TagTrace:
-			// Stash for the next update; relayed verbatim ahead of its
-			// forward so the shard's own trace matching applies.
+			// Stash for the next update; relayed ahead of its forward so
+			// the shard's own trace matching applies. The arrival stamp
+			// becomes the hop's fwd_rx time when the router traces.
 			pendTrace = append(pendTrace[:0], p...)
 			havePend = true
+			if r.opts.Trace {
+				pendRxNs = trace.Now()
+			}
 
 		case wire.TagUpdate:
 			// Peek only the routing key — u16-len sourceID then i64 seq —
@@ -672,11 +757,12 @@ func (r *Router) handleDown(conn net.Conn) {
 			}
 			rt := r.routeFor(idb)
 			var tr []byte
+			var trRx int64
 			if havePend {
-				tr = pendTrace
+				tr, trRx = pendTrace, pendRxNs
 				havePend = false
 			}
-			r.forward(rt, p, tr, seq, rd.Buffered() == 0)
+			r.forward(rt, p, tr, seq, trRx, rd.Buffered() == 0)
 
 		case wire.TagQuery:
 			qid, seq, err := rd.DecodeQuery(p)
@@ -939,6 +1025,7 @@ func (r *Router) ReconnectShard(shard int) error {
 	if shard < 0 || shard >= len(r.upstreams) {
 		return fmt.Errorf("cluster: no shard %d", shard)
 	}
+	reconnStart := trace.Now()
 	up := r.upstreams[shard]
 	up.fail(errors.New("cluster: reconnecting")) // idempotent if already down
 	if err := up.connect(); err != nil {
@@ -1058,5 +1145,9 @@ func (r *Router) ReconnectShard(shard int) error {
 		}
 	}
 	r.tel.reconnects.Inc()
+	r.events.record(TopoEvent{
+		Kind: EvShardReconnect, Shard: shard,
+		DurMs: float64(trace.Now()-reconnStart) / 1e6,
+	})
 	return nil
 }

@@ -68,7 +68,7 @@ func (r *Router) ServeUDP(addr string) error {
 					continue
 				}
 				rt := r.routeFor(idb)
-				shard := r.forward(rt, p, nil, seq, false)
+				shard := r.forward(rt, p, nil, seq, 0, false)
 				if shard >= 0 && shard < len(touched) {
 					touched[shard] = true
 				}

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"runtime"
 	"strconv"
 	"time"
 
+	"streamkf/internal/dsms"
 	"streamkf/internal/telemetry"
 )
 
@@ -32,6 +34,13 @@ type routerTelemetry struct {
 	aggSuppressed *telemetry.Counter
 	migrations    *telemetry.Counter
 	reconnects    *telemetry.Counter
+
+	// Per-hop latency attribution for traced forwards: stage="router"
+	// is trace-frame receipt to forward write (time spent inside the
+	// router), stage="shard" is forward write to shard ack (wire +
+	// shard apply). Observed in nanoseconds, exposed in seconds.
+	hopRouter *telemetry.Histogram
+	hopShard  *telemetry.Histogram
 }
 
 func newRouterTelemetry(reg *telemetry.Registry, shards int) *routerTelemetry {
@@ -43,6 +52,12 @@ func newRouterTelemetry(reg *telemetry.Registry, shards int) *routerTelemetry {
 		forwarded:  make([]*telemetry.Counter, shards),
 		fwdLatency: make([]*telemetry.Histogram, shards),
 	}
+	// Build identity and uptime, matching the server's admin surface so
+	// a fleet scrape names every binary uniformly.
+	reg.Gauge("dkf_build_info", "Build identity; the value is always 1.",
+		telemetry.L("version", dsms.Version), telemetry.L("goversion", runtime.Version())).Set(1)
+	reg.GaugeFunc("dkf_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(telEpoch).Seconds() })
 	for i := 0; i < shards; i++ {
 		lbl := telemetry.L("shard", strconv.Itoa(i))
 		t.forwarded[i] = reg.Counter("dkf_router_forwarded_total",
@@ -64,5 +79,10 @@ func newRouterTelemetry(reg *telemetry.Registry, shards int) *routerTelemetry {
 		"Stream migrations completed.")
 	t.reconnects = reg.Counter("dkf_router_upstream_reconnects_total",
 		"Upstream shard reconnects completed.")
+	const hopHelp = "Per-hop latency of traced forwards, by stage (router: trace rx to forward tx; shard: forward tx to ack)."
+	t.hopRouter = reg.HistogramScale("dkf_router_hop_latency_seconds", hopHelp, 1e9,
+		telemetry.L("stage", "router"))
+	t.hopShard = reg.HistogramScale("dkf_router_hop_latency_seconds", hopHelp, 1e9,
+		telemetry.L("stage", "shard"))
 	return t
 }

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"streamkf/internal/dsms"
+	"streamkf/internal/trace"
+)
+
+// Distributed /tracez: the router keeps its own per-route flight
+// recorders (fwd_rx/fwd_tx/fwd_ack), and TraceStream fans the lookup
+// out to the owning shard's admin endpoint, splicing both trails into
+// one causal chain keyed by the traceID the source minted. Because
+// hop-capable peers carry the source's decision timestamp on the wire
+// (see wire/hoptrace.go), the spliced chain is time-ordered end to
+// end: decision → fwd_rx → fwd_tx → wire_rx → apply → wal → fwd_ack.
+
+// ClusterStreamTrace is the router's /tracez/stream/{id} document.
+type ClusterStreamTrace struct {
+	SourceID   string `json:"source_id"`
+	Shard      int    `json:"shard"`
+	ShardAdmin string `json:"shard_admin,omitempty"`
+	Enabled    bool   `json:"enabled"`
+	// RouterEvents is the router's own trail for the route, oldest
+	// first; ShardTrace is the owning shard's document (nil when the
+	// shard admin endpoint is unreachable or unconfigured — see Error).
+	RouterEvents []trace.EventView `json:"router_events"`
+	ShardTrace   *dsms.StreamTrace `json:"shard_trace,omitempty"`
+	// Chain merges both trails, deduplicated by (trace_id, seq, kind)
+	// and ordered by timestamp (causal stage rank breaks ties).
+	Chain []trace.EventView `json:"chain"`
+	Error string            `json:"error,omitempty"`
+}
+
+// TraceEnabled reports whether the router records forwarding events.
+func (r *Router) TraceEnabled() bool { return r.opts.Trace }
+
+// chainRank orders a reading's lifecycle stages causally, for breaking
+// timestamp ties when splicing trails recorded on different nodes.
+func chainRank(kind string) int {
+	switch kind {
+	case "smooth":
+		return 1
+	case "predict":
+		return 2
+	case "decision":
+		return 3
+	case "wire_tx":
+		return 4
+	case "fwd_rx":
+		return 5
+	case "fwd_tx":
+		return 6
+	case "wire_rx":
+		return 7
+	case "apply":
+		return 8
+	case "wal":
+		return 9
+	case "fwd_ack":
+		return 10
+	default: // answer and anything future
+		return 11
+	}
+}
+
+// TraceStream returns the spliced cross-node trail for a source id or
+// query id. The shard half degrades gracefully: with no reachable
+// shard admin endpoint the document still carries the router's own
+// events and names the problem in Error.
+func (r *Router) TraceStream(id string) (ClusterStreamTrace, error) {
+	sourceID := id
+	r.regMu.Lock()
+	if q, ok := r.queries[id]; ok {
+		sourceID = q.SourceID
+	}
+	r.regMu.Unlock()
+
+	r.routeMu.RLock()
+	rt := r.routes[sourceID]
+	r.routeMu.RUnlock()
+	if rt == nil {
+		return ClusterStreamTrace{}, fmt.Errorf("cluster: unknown stream or query %s", id)
+	}
+	rt.mu.Lock()
+	shard := rt.shard
+	rt.mu.Unlock()
+
+	out := ClusterStreamTrace{
+		SourceID:   sourceID,
+		Shard:      shard,
+		ShardAdmin: r.shardAdmin(shard),
+		Enabled:    rt.rec != nil,
+	}
+	if rt.rec != nil {
+		evs := rt.rec.Events()
+		out.RouterEvents = make([]trace.EventView, len(evs))
+		for i := range evs {
+			out.RouterEvents[i] = evs[i].View()
+		}
+	}
+	if out.ShardAdmin == "" {
+		out.Error = "no shard admin endpoint configured"
+	} else {
+		var st dsms.StreamTrace
+		if err := fetchJSON(out.ShardAdmin, traceStreamPath(sourceID), &st); err != nil {
+			out.Error = err.Error()
+		} else {
+			out.ShardTrace = &st
+		}
+	}
+
+	type key struct {
+		tid, seq int64
+		kind     string
+	}
+	seen := make(map[key]bool)
+	add := func(evs []trace.EventView) {
+		for _, ev := range evs {
+			k := key{ev.TraceID, ev.Seq, ev.Kind}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out.Chain = append(out.Chain, ev)
+		}
+	}
+	add(out.RouterEvents)
+	if out.ShardTrace != nil {
+		add(out.ShardTrace.Events)
+	}
+	sort.SliceStable(out.Chain, func(i, j int) bool {
+		a, b := out.Chain[i], out.Chain[j]
+		if a.AtUnixNs != b.AtUnixNs {
+			return a.AtUnixNs < b.AtUnixNs
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return chainRank(a.Kind) < chainRank(b.Kind)
+	})
+	return out, nil
+}
+
+// TraceRecent returns up to limit recent forwarding events across all
+// routes, newest first — the router's /tracez listing. source narrows
+// to one stream; a nonzero kind keeps only matching events.
+func (r *Router) TraceRecent(limit int, source string, kind trace.Kind, dec trace.Decision) []dsms.TraceEntry {
+	if limit <= 0 {
+		limit = 100
+	}
+	r.routeMu.RLock()
+	routes := make([]*route, len(r.byIdx))
+	copy(routes, r.byIdx)
+	r.routeMu.RUnlock()
+	var out []dsms.TraceEntry
+	for _, rt := range routes {
+		if rt.rec == nil || (source != "" && rt.sourceID != source) {
+			continue
+		}
+		for _, ev := range rt.rec.Events() {
+			if kind != 0 && ev.Kind != kind {
+				continue
+			}
+			if dec != trace.DecisionNone && ev.Dec != dec {
+				continue
+			}
+			out = append(out, dsms.TraceEntry{SourceID: rt.sourceID, EventView: ev.View()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AtUnixNs > out[j].AtUnixNs })
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -25,6 +25,7 @@ import (
 
 	"streamkf/internal/core"
 	"streamkf/internal/dsms/engine"
+	"streamkf/internal/dsms/wire"
 	"streamkf/internal/model"
 	"streamkf/internal/stream"
 	"streamkf/internal/synopsis"
@@ -415,6 +416,24 @@ func (s *Server) HandleUpdateTraced(u core.Update, wd *trace.DecisionInfo, wireB
 	return nil
 }
 
+// RecordForwardHop splices a router's hop evidence (carried by the
+// 101-byte TagTrace form, see wire/hoptrace.go) into the stream's
+// flight recorder: fwd_rx/fwd_tx events stamped with the router's own
+// timestamps, keyed by the traceID the source minted. Called by the
+// transport before the update's apply so the ring preserves causal
+// order. A no-op when tracing is off, the source is unknown, or the
+// sequence is not sampled.
+func (s *Server) RecordForwardHop(sourceID string, traceID, seq int64, hop wire.TraceHop) {
+	s.mu.RLock()
+	st := s.sources[sourceID]
+	s.mu.RUnlock()
+	if st == nil || st.rec == nil || !st.rec.Sampled(seq) {
+		return
+	}
+	st.rec.Record(&trace.Event{TraceID: traceID, Seq: seq, At: hop.RxUnixNs, Kind: trace.KindFwdRx, Aux: int64(hop.Idx)})
+	st.rec.Record(&trace.Event{TraceID: traceID, Seq: seq, At: hop.TxUnixNs, Kind: trace.KindFwdTx, Aux: hop.Epoch})
+}
+
 // applyLocked is the single apply body shared by the synchronous TCP
 // path (HandleUpdateTraced) and the shard engine's batch path
 // (applyRun): filter step, history, time map, suppression accounting,
@@ -465,8 +484,11 @@ func (s *Server) applyLocked(st *sourceState, u *core.Update, wd *trace.Decision
 			st.rec.Record(&trace.Event{TraceID: tid, Seq: int64(u.Seq), Kind: trace.KindWireRx, Aux: int64(wireBytes)})
 		}
 		if wd != nil {
+			// At carries the source's decision timestamp when the hop
+			// extension supplied one (zero lets Record stamp arrival
+			// time), so spliced cross-node trails sort by source time.
 			st.rec.Record(&trace.Event{
-				TraceID: wd.TraceID, Seq: wd.Seq, Kind: trace.KindDecision, Dec: wd.Decision,
+				TraceID: wd.TraceID, Seq: wd.Seq, At: wd.At, Kind: trace.KindDecision, Dec: wd.Decision,
 				Raw: wd.Raw, Value: wd.Smoothed, Pred: wd.Pred,
 				Residual: wd.Residual, Delta: wd.Delta, NIS: wd.NIS,
 			})

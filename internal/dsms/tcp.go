@@ -172,7 +172,10 @@ func (t *TCPServer) handle(conn net.Conn) {
 	// requires the bit before it will forward upstream.
 	feats := wire.FeatCluster
 	if t.server.TraceEnabled() {
-		feats |= wire.FeatTrace
+		// FeatHopTrace invites the extended TagTrace payloads that carry
+		// decision/router-hop timestamps (see wire/hoptrace.go) so a
+		// spliced cross-node trail can order events by source time.
+		feats |= wire.FeatTrace | wire.FeatHopTrace
 	}
 	if w.WritePreambleFeatures(wire.Version, feats) != nil {
 		return
@@ -196,6 +199,8 @@ func (t *TCPServer) handle(conn net.Conn) {
 	pendingAck := false
 	var pend trace.DecisionInfo
 	havePend := false
+	var pendHop wire.TraceHop
+	haveHop := false
 
 	// Forward-ack coalescing (cluster mode): a burst of forwarded
 	// updates acks once per route index, not once per frame. fwdOrder
@@ -266,7 +271,7 @@ func (t *TCPServer) handle(conn net.Conn) {
 			}
 			var wd *trace.DecisionInfo
 			if havePend {
-				havePend = false
+				havePend, haveHop = false, false
 				if pend.Seq == int64(u.Seq) {
 					wd = &pend
 				}
@@ -288,7 +293,7 @@ func (t *TCPServer) handle(conn net.Conn) {
 				return
 			}
 		case wire.TagTrace:
-			d, err := wire.DecodeTrace(p)
+			d, hop, hasHop, err := wire.DecodeTraceExt(p)
 			if err != nil {
 				tel.countWireError(err)
 				w.Error(fmt.Sprintf("dsms: %v", err))
@@ -298,6 +303,7 @@ func (t *TCPServer) handle(conn net.Conn) {
 			// Not acked: the evidence travels with (and is confirmed by
 			// the ack of) the update frame that follows it.
 			pend, havePend = d, true
+			pendHop, haveHop = hop, hasHop
 		case wire.TagQuery:
 			qid, seq, err := r.DecodeQuery(p)
 			if err != nil {
@@ -354,11 +360,19 @@ func (t *TCPServer) handle(conn net.Conn) {
 				continue
 			}
 			var wd *trace.DecisionInfo
+			wdHop := false
 			if havePend {
 				havePend = false
 				if pend.Seq == int64(u.Seq) {
 					wd = &pend
+					wdHop = haveHop
 				}
+				haveHop = false
+			}
+			if wd != nil && wdHop {
+				// Splice the router's hop into this stream's trail before
+				// the apply/wal events so the ring preserves causal order.
+				t.server.RecordForwardHop(u.SourceID, wd.TraceID, wd.Seq, pendHop)
 			}
 			if err := t.server.HandleUpdateTraced(u, wd, len(p)+5); err != nil {
 				if w.Error(err.Error()) != nil || !flushAck() {
@@ -496,7 +510,12 @@ type RemoteAgent struct {
 	// wire.FeatTrace. Re-evaluated on every (re)connect, so a tracing
 	// agent keeps interoperating with servers that lack the feature.
 	wireTrace bool
-	tracer    *trace.Recorder // local flight recorder; nil unless opts.Trace
+	// wireHop is true when the server additionally advertised
+	// wire.FeatHopTrace: trace frames then carry the decision timestamp
+	// (73-byte form) so downstream recorders stamp the relayed decision
+	// with source time. Re-evaluated with wireTrace on every connect.
+	wireHop bool
+	tracer  *trace.Recorder // local flight recorder; nil unless opts.Trace
 
 	ins *AgentInstruments // optional; set once at dial, nil-safe
 
@@ -602,6 +621,7 @@ func DialSourceOptions(addr, sourceID string, catalog *Catalog, opts DialOptions
 		ra.tracer = trace.New(trace.Options{RingSize: opts.TraceRing, Sample: opts.TraceSample})
 		agent.SetTrace(ra.tracer)
 		ra.wireTrace = feats&wire.FeatTrace != 0
+		ra.wireHop = ra.wireTrace && feats&wire.FeatHopTrace != 0
 	}
 	ra.agent = agent
 	go ra.readLoop(r)
@@ -722,8 +742,17 @@ func (r *RemoteAgent) sendUpdate(u core.Update) error {
 		// numbers agree; a resent update (whose decision is long gone)
 		// simply travels untraced.
 		if d := r.agent.LastDecision(); d.Seq == int64(u.Seq) {
-			if err := r.w.Trace(&d); err != nil {
-				r.err = fmt.Errorf("dsms: send: %w", err)
+			var terr error
+			if r.wireHop {
+				// Stamp the decision with this node's trace clock; the
+				// 73-byte form carries it to hop-capable peers.
+				d.At = trace.Now()
+				terr = r.w.TraceAt(&d)
+			} else {
+				terr = r.w.Trace(&d)
+			}
+			if terr != nil {
+				r.err = fmt.Errorf("dsms: send: %w", terr)
 				r.pending = append(r.pending, u)
 				return r.err
 			}
@@ -883,6 +912,7 @@ func (r *RemoteAgent) Reconnect() error {
 	// renegotiate rather than assume (resent updates below carry no
 	// fresh decisions, so they are untraced either way).
 	r.wireTrace = r.opts.Trace && feats&wire.FeatTrace != 0
+	r.wireHop = r.wireTrace && feats&wire.FeatHopTrace != 0
 	r.outstanding = r.outstanding[:0]
 	r.sendTimes = r.sendTimes[:0]
 	r.readerDone = make(chan struct{})

@@ -41,6 +41,18 @@ func FuzzFrameDecode(f *testing.F) {
 			Raw: 3.25, Smoothed: 3.0, Pred: 1.5, Residual: 1.5, Delta: 0.5, NIS: 4.0,
 		})
 	}))
+	f.Add(seed(func(w *Writer) error {
+		return w.TraceAt(&trace.DecisionInfo{
+			TraceID: 17, Seq: 9, Decision: trace.DecisionSend, At: 123456789,
+			Raw: 3.25, Smoothed: 3.0, Pred: 1.5, Residual: 1.5, Delta: 0.5, NIS: 4.0,
+		})
+	}))
+	f.Add(seed(func(w *Writer) error {
+		return w.TraceHop(&trace.DecisionInfo{
+			TraceID: 17, Seq: 9, Decision: trace.DecisionSend, At: 123456789,
+			Raw: 3.25, Smoothed: 3.0, Pred: 1.5, Residual: 1.5, Delta: 0.5, NIS: 4.0,
+		}, TraceHop{Idx: 3, Epoch: 7, RxUnixNs: 1000, TxUnixNs: 2000})
+	}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data), 0, 0)
@@ -61,6 +73,7 @@ func FuzzFrameDecode(f *testing.F) {
 			_, _, _ = DecodeAnswer(p)
 			_, _ = DecodeError(p)
 			_, _ = DecodeTrace(p)
+			_, _, _, _ = DecodeTraceExt(p)
 			_ = tag
 		}
 	})

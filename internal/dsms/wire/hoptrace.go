@@ -1,0 +1,110 @@
+package wire
+
+import "streamkf/internal/trace"
+
+// Hop-trace extension: cross-hop propagation of suppression-decision
+// evidence through the cluster router.
+//
+// The base TagTrace payload (65 bytes, see Writer.Trace) carries the
+// decision evidence but no timestamps, so a trail spliced across nodes
+// cannot order the source's decision against the router's forwarding
+// events. The extension appends up to two suffixes to the same tag —
+// no new tag is minted because the v2 tag space 0x01–0x0f is full and
+// the WAL owns 0x10+ (see persist.go):
+//
+//	65 bytes  — base evidence (plain v2 + FeatTrace peers)
+//	73 bytes  — base + int64 decidedAtUnixNs (source → hop-capable peer)
+//	101 bytes — base + decidedAt + uint32 routeIdx + int64 epoch
+//	            + int64 hopRxUnixNs + int64 hopTxUnixNs (router → shard)
+//
+// The suffixes are legal only toward a peer that advertised
+// FeatHopTrace; everyone else keeps receiving (or relaying verbatim)
+// the 65-byte form, so plain v2 peers are untouched. DecodeTrace stays
+// strict at 65 bytes; hop-aware receivers use DecodeTraceExt, which
+// accepts all three lengths.
+
+// FeatHopTrace advertises that this peer accepts extended TagTrace
+// payloads carrying decision/hop timestamps (73- or 101-byte forms).
+const FeatHopTrace byte = 0x04
+
+// TraceHop is the router-hop suffix of a 101-byte TagTrace payload:
+// where the traced update was routed and when the router saw and
+// forwarded it, in the trace package's unix-nanosecond clock.
+type TraceHop struct {
+	Idx      uint32 // route table index at the router
+	Epoch    int64  // topology epoch the forward was routed under
+	RxUnixNs int64  // router received the traced update
+	TxUnixNs int64  // router wrote the forward to the shard
+}
+
+// traceBase appends the 65-byte base evidence encoding shared by all
+// three TagTrace variants.
+func traceBase(b []byte, d *trace.DecisionInfo) []byte {
+	b = AppendI64(b, d.TraceID)
+	b = AppendI64(b, d.Seq)
+	b = append(b, byte(d.Decision))
+	b = AppendF64(b, d.Raw)
+	b = AppendF64(b, d.Smoothed)
+	b = AppendF64(b, d.Pred)
+	b = AppendF64(b, d.Residual)
+	b = AppendF64(b, d.Delta)
+	b = AppendF64(b, d.NIS)
+	return b
+}
+
+// TraceAt buffers a 73-byte decision-evidence frame: the base evidence
+// plus the source's decision timestamp (d.At). Legal only toward a
+// peer that advertised FeatHopTrace.
+func (w *Writer) TraceAt(d *trace.DecisionInfo) error {
+	w.begin(TagTrace)
+	w.scratch = traceBase(w.scratch, d)
+	w.scratch = AppendI64(w.scratch, d.At)
+	return w.finish()
+}
+
+// TraceHop buffers a 101-byte decision-evidence frame: the base
+// evidence, the source decision timestamp, and the router hop suffix.
+// Written by a tracing router toward a FeatHopTrace shard so the shard
+// can splice router fwd_rx/fwd_tx events into the stream's own trail.
+func (w *Writer) TraceHop(d *trace.DecisionInfo, hop TraceHop) error {
+	w.begin(TagTrace)
+	w.scratch = traceBase(w.scratch, d)
+	w.scratch = AppendI64(w.scratch, d.At)
+	w.scratch = AppendU32(w.scratch, hop.Idx)
+	w.scratch = AppendI64(w.scratch, hop.Epoch)
+	w.scratch = AppendI64(w.scratch, hop.RxUnixNs)
+	w.scratch = AppendI64(w.scratch, hop.TxUnixNs)
+	return w.finish()
+}
+
+// DecodeTraceExt parses any of the three TagTrace payload variants.
+// hasHop reports whether the router-hop suffix was present (101-byte
+// form); for the 65-byte form d.At is zero (unknown). Returns by value
+// so hot-path callers keep the result on the stack.
+func DecodeTraceExt(p []byte) (d trace.DecisionInfo, hop TraceHop, hasHop bool, err error) {
+	c := NewCursor(p)
+	d.TraceID = c.I64()
+	d.Seq = c.I64()
+	d.Decision = trace.Decision(c.U8())
+	d.Raw = c.F64()
+	d.Smoothed = c.F64()
+	d.Pred = c.F64()
+	d.Residual = c.F64()
+	d.Delta = c.F64()
+	d.NIS = c.F64()
+	if c.Done() {
+		return d, TraceHop{}, false, nil
+	}
+	d.At = c.I64()
+	if c.Done() {
+		return d, TraceHop{}, false, nil
+	}
+	hop.Idx = c.U32()
+	hop.Epoch = c.I64()
+	hop.RxUnixNs = c.I64()
+	hop.TxUnixNs = c.I64()
+	if !c.Done() {
+		return trace.DecisionInfo{}, TraceHop{}, false, malformed(TagTrace)
+	}
+	return d, hop, true, nil
+}

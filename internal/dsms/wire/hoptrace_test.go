@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"streamkf/internal/trace"
+)
+
+// TestTraceExtRoundTrip covers all three TagTrace payload variants
+// through one decoder: the 65-byte base an untimed peer writes, the
+// 73-byte timed form a hop-capable agent writes, and the 101-byte
+// router form carrying the hop record.
+func TestTraceExtRoundTrip(t *testing.T) {
+	d := trace.DecisionInfo{
+		TraceID: 17, Seq: 9, Decision: trace.DecisionSend,
+		Raw: 3.25, Smoothed: 3.0, Pred: 1.5, Residual: 1.5, Delta: 0.5, NIS: 4.0,
+	}
+	hop := TraceHop{Idx: 3, Epoch: 7, RxUnixNs: 1_000_000, TxUnixNs: 2_000_000}
+
+	w, r, _ := pipe()
+	if err := w.Trace(&d); err != nil {
+		t.Fatal(err)
+	}
+	dAt := d
+	dAt.At = 123_456_789
+	if err := w.TraceAt(&dAt); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TraceHop(&dAt, hop); err != nil {
+		t.Fatal(err)
+	}
+	mustFlush(t, w)
+
+	// Base form: decision round-trips, no timestamp, no hop.
+	got, gotHop, hasHop, err := DecodeTraceExt(next(t, r, TagTrace))
+	if err != nil || hasHop || got != d || gotHop != (TraceHop{}) {
+		t.Fatalf("base form = %+v hop=%v/%+v, %v; want %+v", got, hasHop, gotHop, err, d)
+	}
+	// Timed form: the decision timestamp survives the wire.
+	got, _, hasHop, err = DecodeTraceExt(next(t, r, TagTrace))
+	if err != nil || hasHop || got != dAt {
+		t.Fatalf("timed form = %+v hop=%v, %v; want %+v", got, hasHop, err, dAt)
+	}
+	// Hop form: decision, timestamp and the router's hop record.
+	p := next(t, r, TagTrace)
+	got, gotHop, hasHop, err = DecodeTraceExt(p)
+	if err != nil || !hasHop || got != dAt || gotHop != hop {
+		t.Fatalf("hop form = %+v hop=%v/%+v, %v; want %+v %+v", got, hasHop, gotHop, err, dAt, hop)
+	}
+	// The strict base decoder must reject the extended payload rather
+	// than silently truncate it — only negotiated peers receive it.
+	if _, err := DecodeTrace(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("DecodeTrace on the 101-byte hop payload = %v, want ErrMalformed", err)
+	}
+}
+
+// TestTraceExtMalformed walks every off-by-some length around the
+// three valid payload sizes: 65, 73 and 101 are the only ones that
+// decode.
+func TestTraceExtMalformed(t *testing.T) {
+	for size := 0; size <= 110; size++ {
+		_, _, _, err := DecodeTraceExt(make([]byte, size))
+		valid := size == 65 || size == 73 || size == 101
+		if valid && err != nil {
+			t.Errorf("DecodeTraceExt(%d bytes) = %v, want nil", size, err)
+		}
+		if !valid && !errors.Is(err, ErrMalformed) {
+			t.Errorf("DecodeTraceExt(%d bytes) = %v, want ErrMalformed", size, err)
+		}
+	}
+}

@@ -248,6 +248,9 @@ type metric struct {
 	gauge   *Gauge
 	fn      func() float64
 	hist    *Histogram
+	// scale divides histogram bucket bounds and sums at exposition
+	// time (see HistogramScale); <= 1 means raw observed units.
+	scale float64
 }
 
 // family groups every instrument sharing a metric name, so the
@@ -356,6 +359,20 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 	m := r.register(name, help, kindHistogram, labels, func() *metric {
 		return &metric{hist: &Histogram{}}
+	})
+	return m.hist
+}
+
+// HistogramScale returns the histogram registered under name and
+// labels, creating it on first use with an exposition scale: observed
+// values are recorded raw (keeping Observe lock- and allocation-free),
+// but the Prometheus rendering divides bucket upper bounds and the
+// _sum sample by scale. A latency histogram observing nanoseconds with
+// scale 1e9 therefore exposes honest seconds, per convention, without
+// a hot-path division.
+func (r *Registry) HistogramScale(name, help string, scale float64, labels ...Label) *Histogram {
+	m := r.register(name, help, kindHistogram, labels, func() *metric {
+		return &metric{hist: &Histogram{}, scale: scale}
 	})
 	return m.hist
 }
@@ -492,6 +509,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					if bi == 0 {
 						bound = 0
 					}
+					if m.scale > 1 {
+						bound /= m.scale
+					}
 					b.WriteString(m.name)
 					b.WriteString("_bucket")
 					writeLabels(&b, m.labels, L("le", formatFloat(bound)))
@@ -509,7 +529,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				b.WriteString("_sum")
 				writeLabels(&b, m.labels)
 				b.WriteByte(' ')
-				b.WriteString(strconv.FormatInt(s.Sum, 10))
+				if m.scale > 1 {
+					b.WriteString(formatFloat(float64(s.Sum) / m.scale))
+				} else {
+					b.WriteString(strconv.FormatInt(s.Sum, 10))
+				}
 				b.WriteByte('\n')
 				b.WriteString(m.name)
 				b.WriteString("_count")

@@ -36,14 +36,17 @@ type Kind uint8
 
 // Event kinds, in causal order along one reading's chain.
 const (
-	KindSmooth   Kind = 1 // KFc smoothing: Raw in, Value out
-	KindPredict  Kind = 2 // KFm prediction: Pred, Residual vs Delta
-	KindDecision Kind = 3 // send/suppress decision with evidence (Dec set)
-	KindWireTx   Kind = 4 // update frame buffered for transmission (Aux = wire bytes)
-	KindWireRx   Kind = 5 // update frame received by the server (Aux = frame bytes)
-	KindApply    Kind = 6 // server filter correction (Residual = |innovation|)
-	KindWAL      Kind = 7 // update appended to the write-ahead log (Aux = record bytes)
-	KindAnswer   Kind = 8 // query answered from the stream's prediction
+	KindSmooth   Kind = 1  // KFc smoothing: Raw in, Value out
+	KindPredict  Kind = 2  // KFm prediction: Pred, Residual vs Delta
+	KindDecision Kind = 3  // send/suppress decision with evidence (Dec set)
+	KindWireTx   Kind = 4  // update frame buffered for transmission (Aux = wire bytes)
+	KindWireRx   Kind = 5  // update frame received by the server (Aux = frame bytes)
+	KindApply    Kind = 6  // server filter correction (Residual = |innovation|)
+	KindWAL      Kind = 7  // update appended to the write-ahead log (Aux = record bytes)
+	KindAnswer   Kind = 8  // query answered from the stream's prediction
+	KindFwdRx    Kind = 9  // router received the traced update (Aux = route idx)
+	KindFwdTx    Kind = 10 // router forwarded the update to a shard (Aux = topology epoch)
+	KindFwdAck   Kind = 11 // router observed the shard's cumulative ack (Aux = target shard)
 )
 
 // String names the kind for /tracez JSON and diagnostics.
@@ -65,6 +68,12 @@ func (k Kind) String() string {
 		return "wal"
 	case KindAnswer:
 		return "answer"
+	case KindFwdRx:
+		return "fwd_rx"
+	case KindFwdTx:
+		return "fwd_tx"
+	case KindFwdAck:
+		return "fwd_ack"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -72,7 +81,7 @@ func (k Kind) String() string {
 
 // ParseKind inverts Kind.String for /tracez filter parameters.
 func ParseKind(s string) (Kind, error) {
-	for k := KindSmooth; k <= KindAnswer; k++ {
+	for k := KindSmooth; k <= KindFwdAck; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -232,6 +241,11 @@ type DecisionInfo struct {
 	Residual float64
 	Delta    float64
 	NIS      float64
+	// At is when the source made the decision, in unix nanoseconds.
+	// Zero means unknown (a peer that does not carry timestamps); the
+	// hop-trace wire extension fills it so downstream recorders can
+	// stamp the relayed decision event with source time.
+	At int64
 }
 
 // slot is one ring cell: a version word bracketing the event words.
@@ -489,6 +503,11 @@ var epochUnixNs = epochWall.UnixNano()
 // nowUnixNanos returns the current time as monotonic-anchored unix
 // nanoseconds.
 func nowUnixNanos() int64 { return epochUnixNs + int64(time.Since(epochWall)) }
+
+// Now exposes the recorder's clock so other layers (the wire hop-trace
+// extension, the cluster router) can stamp timestamps that sort
+// consistently against recorded events.
+func Now() int64 { return nowUnixNanos() }
 
 // f64bits/f64frombits shorten math.Float64bits/Float64frombits at the
 // encode/decode call sites.
